@@ -1,0 +1,109 @@
+//! The simplest possible concurrent dictionary: the sequential
+//! leaf-oriented BST behind one reader-writer lock.
+//!
+//! This is the "do nothing clever" baseline: all updates serialize on a
+//! single lock, and — unlike the EFRB tree — a stalled writer blocks the
+//! entire structure. Its throughput curve is the foil for experiment T1.
+
+use nbbst_dictionary::{ConcurrentMap, SeqMap};
+use nbbst_model::LeafBst;
+use parking_lot::RwLock;
+use std::fmt;
+
+/// A [`LeafBst`] wrapped in a [`parking_lot::RwLock`].
+///
+/// # Examples
+///
+/// ```
+/// use nbbst_baselines::CoarseLockBst;
+/// use nbbst_dictionary::ConcurrentMap;
+///
+/// let m: CoarseLockBst<u64, u64> = CoarseLockBst::new();
+/// assert!(m.insert(1, 10));
+/// assert!(m.contains(&1));
+/// assert!(m.remove(&1));
+/// ```
+pub struct CoarseLockBst<K, V> {
+    inner: RwLock<LeafBst<K, V>>,
+}
+
+impl<K: Ord + Clone, V> CoarseLockBst<K, V> {
+    /// Creates an empty dictionary.
+    pub fn new() -> CoarseLockBst<K, V> {
+        CoarseLockBst {
+            inner: RwLock::new(LeafBst::new()),
+        }
+    }
+}
+
+impl<K: Ord + Clone, V> Default for CoarseLockBst<K, V> {
+    fn default() -> Self {
+        CoarseLockBst::new()
+    }
+}
+
+impl<K, V> ConcurrentMap<K, V> for CoarseLockBst<K, V>
+where
+    K: Ord + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    fn insert(&self, key: K, value: V) -> bool {
+        self.inner.write().insert(key, value)
+    }
+
+    fn remove(&self, key: &K) -> bool {
+        SeqMap::remove(&mut *self.inner.write(), key)
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        SeqMap::contains(&*self.inner.read(), key)
+    }
+
+    fn get(&self, key: &K) -> Option<V> {
+        SeqMap::get(&*self.inner.read(), key)
+    }
+
+    fn quiescent_len(&self) -> usize {
+        self.inner.read().len()
+    }
+}
+
+impl<K: Ord + Clone + fmt::Debug, V> fmt::Debug for CoarseLockBst<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CoarseLockBst")
+            .field("len", &self.inner.read().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_semantics() {
+        let m: CoarseLockBst<u64, &str> = CoarseLockBst::new();
+        assert!(m.insert(1, "a"));
+        assert!(!m.insert(1, "b"));
+        assert_eq!(m.get(&1), Some("a"));
+        assert!(m.remove(&1));
+        assert!(!m.remove(&1));
+        assert!(m.quiescent_is_empty());
+    }
+
+    #[test]
+    fn concurrent_inserts_serialize_correctly() {
+        let m: CoarseLockBst<u64, u64> = CoarseLockBst::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let m = &m;
+                s.spawn(move || {
+                    for i in 0..250 {
+                        m.insert(t * 1_000 + i, i);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.quiescent_len(), 1_000);
+    }
+}

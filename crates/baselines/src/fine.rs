@@ -1,0 +1,415 @@
+//! A fine-grained lock-based leaf-oriented BST.
+//!
+//! Stands in for the lock-based concurrent search trees of the paper's
+//! Section 2 (Kung–Lehman; Nurmi–Soisalon-Soininen): reads traverse
+//! optimistically without locks, while each update locks only the one or
+//! two nodes it modifies (parent for insert; grandparent + parent for
+//! delete) and validates before mutating. Unlike the EFRB tree, a thread
+//! that is preempted — or crashes — while holding a lock blocks every later
+//! update that needs the same node: the structure is *blocking*.
+//!
+//! Reads are made safe by the same epoch collector the lock-free
+//! structures use: removed nodes are retired, not freed, so optimistic
+//! traversals never touch freed memory.
+
+use nbbst_dictionary::{real_vs_node, ConcurrentMap, SentinelKey};
+use nbbst_reclaim::{Atomic, Collector, Guard, Shared};
+use parking_lot::Mutex;
+use std::cmp::Ordering as CmpOrdering;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+const ORD: Ordering = Ordering::SeqCst;
+
+struct FineNode<K, V> {
+    key: SentinelKey<K>,
+    value: Option<V>,
+    is_leaf: bool,
+    left: Atomic<FineNode<K, V>>,
+    right: Atomic<FineNode<K, V>>,
+    /// Guards this node's child pointers.
+    lock: Mutex<()>,
+    /// Set (under `lock`) when the node is spliced out; validation fails
+    /// against removed nodes.
+    removed: AtomicBool,
+}
+
+unsafe impl<K: Send + Sync, V: Send + Sync> Send for FineNode<K, V> {}
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for FineNode<K, V> {}
+
+impl<K, V> FineNode<K, V> {
+    fn leaf(key: SentinelKey<K>, value: Option<V>) -> *mut FineNode<K, V> {
+        Box::into_raw(Box::new(FineNode {
+            key,
+            value,
+            is_leaf: true,
+            left: Atomic::null(),
+            right: Atomic::null(),
+            lock: Mutex::new(()),
+            removed: AtomicBool::new(false),
+        }))
+    }
+
+    fn internal(
+        key: SentinelKey<K>,
+        left: *const FineNode<K, V>,
+        right: *const FineNode<K, V>,
+    ) -> *mut FineNode<K, V> {
+        let n = Box::new(FineNode {
+            key,
+            value: None,
+            is_leaf: false,
+            left: Atomic::null(),
+            right: Atomic::null(),
+            lock: Mutex::new(()),
+            removed: AtomicBool::new(false),
+        });
+        // Initialization stores before publication.
+        unsafe {
+            n.left.store(Shared::from_data(left as usize), Ordering::Relaxed);
+            n.right
+                .store(Shared::from_data(right as usize), Ordering::Relaxed);
+        }
+        Box::into_raw(n)
+    }
+
+    fn child<'g>(&self, go_left: bool, guard: &'g Guard) -> Shared<'g, FineNode<K, V>> {
+        if go_left {
+            self.left.load(ORD, guard)
+        } else {
+            self.right.load(ORD, guard)
+        }
+    }
+
+    fn set_child(&self, go_left: bool, new: Shared<'_, FineNode<K, V>>) {
+        if go_left {
+            self.left.store(new, ORD);
+        } else {
+            self.right.store(new, ORD);
+        }
+    }
+}
+
+/// A leaf-oriented BST with per-node locks and optimistic lock-free reads.
+///
+/// # Examples
+///
+/// ```
+/// use nbbst_baselines::FineLockBst;
+/// use nbbst_dictionary::ConcurrentMap;
+///
+/// let m: FineLockBst<u64, &str> = FineLockBst::new();
+/// assert!(m.insert(3, "c"));
+/// assert_eq!(m.get(&3), Some("c"));
+/// assert!(m.remove(&3));
+/// ```
+pub struct FineLockBst<K, V> {
+    root: Box<FineNode<K, V>>,
+    collector: Collector,
+}
+
+unsafe impl<K: Send + Sync, V: Send + Sync> Send for FineLockBst<K, V> {}
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for FineLockBst<K, V> {}
+
+struct FineSearch<'g, K, V> {
+    gp: Shared<'g, FineNode<K, V>>,
+    gp_left: bool,
+    p: Shared<'g, FineNode<K, V>>,
+    p_left: bool,
+    l: Shared<'g, FineNode<K, V>>,
+}
+
+impl<K, V> FineLockBst<K, V>
+where
+    K: Ord + Clone,
+    V: Clone,
+{
+    /// Creates the sentinel tree of Figure 6(a).
+    pub fn new() -> FineLockBst<K, V> {
+        let left = FineNode::leaf(SentinelKey::Inf1, None);
+        let right = FineNode::leaf(SentinelKey::Inf2, None);
+        let root = FineNode::internal(SentinelKey::Inf2, left, right);
+        // SAFETY: just allocated, uniquely owned.
+        let root = unsafe { Box::from_raw(root) };
+        FineLockBst {
+            root,
+            collector: Collector::new(),
+        }
+    }
+
+    fn search<'g>(&self, key: &K, guard: &'g Guard) -> FineSearch<'g, K, V> {
+        let mut gp: Shared<'g, FineNode<K, V>> = Shared::null();
+        let mut gp_left = false;
+        let mut p: Shared<'g, FineNode<K, V>> = Shared::null();
+        let mut p_left = false;
+        let mut l: Shared<'g, FineNode<K, V>> =
+            unsafe { Shared::from_data(&*self.root as *const FineNode<K, V> as usize) };
+        loop {
+            let l_ref = unsafe { l.deref() };
+            if l_ref.is_leaf {
+                break;
+            }
+            gp = p;
+            gp_left = p_left;
+            p = l;
+            p_left = real_vs_node(key, &l_ref.key) == CmpOrdering::Less;
+            l = l_ref.child(p_left, guard);
+        }
+        FineSearch {
+            gp,
+            gp_left,
+            p,
+            p_left,
+            l,
+        }
+    }
+
+    /// Inserts `key`; `false` on duplicate.
+    pub fn insert_kv(&self, key: K, value: V) -> bool {
+        loop {
+            let guard = self.collector.pin();
+            let s = self.search(&key, &guard);
+            let l_ref = unsafe { s.l.deref() };
+            if l_ref.key.as_key() == Some(&key) {
+                return false;
+            }
+            let p_ref = unsafe { s.p.deref() };
+            let _lock = p_ref.lock.lock();
+            // Validate under the lock: p still in the tree and still points
+            // to l on the same side.
+            if p_ref.removed.load(ORD) || s.l != p_ref.child(s.p_left, &guard) {
+                continue; // retry with a fresh search
+            }
+            // Build the Figure 1 subtree and swing the pointer.
+            let new_leaf = FineNode::leaf(SentinelKey::Key(key.clone()), Some(value));
+            let sibling = FineNode::leaf(l_ref.key.clone(), l_ref.value.clone());
+            let new_key = SentinelKey::Key(key);
+            let (routing, left, right) = if new_key < l_ref.key {
+                (l_ref.key.clone(), new_leaf as *const _, sibling as *const _)
+            } else {
+                (new_key, sibling as *const _, new_leaf as *const _)
+            };
+            let internal = FineNode::internal(routing, left, right);
+            let internal_shared: Shared<'_, FineNode<K, V>> =
+                unsafe { Shared::from_data(internal as usize) };
+            p_ref.set_child(s.p_left, internal_shared);
+            l_ref.removed.store(true, ORD);
+            // SAFETY: l was just unlinked under p's lock; unique retire.
+            unsafe { guard.defer_destroy(s.l) };
+            return true;
+        }
+    }
+
+    /// Removes `key`; `false` if absent.
+    pub fn remove_k(&self, key: &K) -> bool {
+        loop {
+            let guard = self.collector.pin();
+            let s = self.search(key, &guard);
+            let l_ref = unsafe { s.l.deref() };
+            if l_ref.key.as_key() != Some(key) {
+                return false;
+            }
+            debug_assert!(!s.gp.is_null(), "real leaves have grandparents");
+            let gp_ref = unsafe { s.gp.deref() };
+            let p_ref = unsafe { s.p.deref() };
+            // Ancestor-first lock order (gp is always p's ancestor): no
+            // deadlock.
+            let _gp_lock = gp_ref.lock.lock();
+            let _p_lock = p_ref.lock.lock();
+            if gp_ref.removed.load(ORD)
+                || p_ref.removed.load(ORD)
+                || s.p != gp_ref.child(s.gp_left, &guard)
+                || s.l != p_ref.child(s.p_left, &guard)
+            {
+                continue;
+            }
+            let sibling = p_ref.child(!s.p_left, &guard);
+            gp_ref.set_child(s.gp_left, sibling);
+            p_ref.removed.store(true, ORD);
+            l_ref.removed.store(true, ORD);
+            // SAFETY: both unlinked under the locks; unique retire.
+            unsafe {
+                guard.defer_destroy(s.p);
+                guard.defer_destroy(s.l);
+            }
+            return true;
+        }
+    }
+
+    /// Lock-free membership test.
+    pub fn contains_k(&self, key: &K) -> bool {
+        let guard = self.collector.pin();
+        let s = self.search(key, &guard);
+        unsafe { s.l.deref() }.key.as_key() == Some(key)
+    }
+
+    /// Lock-free read of the value.
+    pub fn get_k(&self, key: &K) -> Option<V> {
+        let guard = self.collector.pin();
+        let s = self.search(key, &guard);
+        let l_ref = unsafe { s.l.deref() };
+        if l_ref.key.as_key() == Some(key) {
+            l_ref.value.clone()
+        } else {
+            None
+        }
+    }
+
+    fn count_leaves(&self) -> usize {
+        fn go<K, V>(n: &FineNode<K, V>, guard: &Guard) -> usize {
+            if n.is_leaf {
+                return usize::from(!n.key.is_sentinel());
+            }
+            let l = unsafe { n.child(true, guard).deref() };
+            let r = unsafe { n.child(false, guard).deref() };
+            go(l, guard) + go(r, guard)
+        }
+        let guard = self.collector.pin();
+        go(&self.root, &guard)
+    }
+}
+
+impl<K, V> Default for FineLockBst<K, V>
+where
+    K: Ord + Clone,
+    V: Clone,
+{
+    fn default() -> Self {
+        FineLockBst::new()
+    }
+}
+
+impl<K, V> ConcurrentMap<K, V> for FineLockBst<K, V>
+where
+    K: Ord + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    fn insert(&self, key: K, value: V) -> bool {
+        self.insert_kv(key, value)
+    }
+    fn remove(&self, key: &K) -> bool {
+        self.remove_k(key)
+    }
+    fn contains(&self, key: &K) -> bool {
+        self.contains_k(key)
+    }
+    fn get(&self, key: &K) -> Option<V> {
+        self.get_k(key)
+    }
+    fn quiescent_len(&self) -> usize {
+        self.count_leaves()
+    }
+}
+
+impl<K, V> Drop for FineLockBst<K, V> {
+    fn drop(&mut self) {
+        // Free all reachable nodes; the collector frees retired ones.
+        let guard = unsafe { nbbst_reclaim::unprotected() };
+        let mut stack: Vec<*mut FineNode<K, V>> = Vec::new();
+        let l = self.root.left.load(ORD, &guard);
+        let r = self.root.right.load(ORD, &guard);
+        stack.push(l.as_raw() as *mut _);
+        stack.push(r.as_raw() as *mut _);
+        while let Some(n) = stack.pop() {
+            if n.is_null() {
+                continue;
+            }
+            // SAFETY: teardown, exclusive access; each reachable node is
+            // pushed exactly once because this is a tree.
+            let node = unsafe { Box::from_raw(n) };
+            if !node.is_leaf {
+                stack.push(node.left.load(ORD, &guard).as_raw() as *mut _);
+                stack.push(node.right.load(ORD, &guard).as_raw() as *mut _);
+            }
+        }
+    }
+}
+
+impl<K: fmt::Debug, V> fmt::Debug for FineLockBst<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("FineLockBst")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_semantics() {
+        let m: FineLockBst<u64, u64> = FineLockBst::new();
+        assert!(!m.contains(&1));
+        assert!(m.insert(1, 10));
+        assert!(!m.insert(1, 11));
+        assert_eq!(m.get(&1), Some(10));
+        assert!(m.remove(&1));
+        assert!(!m.remove(&1));
+        assert_eq!(m.quiescent_len(), 0);
+    }
+
+    #[test]
+    fn many_keys_roundtrip() {
+        let m: FineLockBst<u64, u64> = FineLockBst::new();
+        for k in 0..101 {
+            assert!(m.insert(k * 3 % 101, k), "key {}", k * 3 % 101);
+        }
+        // Second pass: every insert is a duplicate.
+        for k in 0..101 {
+            assert!(!m.insert(k * 3 % 101, k));
+        }
+        assert_eq!(m.quiescent_len(), 101);
+        for k in 0..101 {
+            assert!(m.contains(&k));
+        }
+    }
+
+    #[test]
+    fn concurrent_mixed_ops_stay_consistent() {
+        let m: FineLockBst<u64, u64> = FineLockBst::new();
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let m = &m;
+                s.spawn(move || {
+                    let mut x = t + 1;
+                    for _ in 0..2_000 {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let k = x % 64;
+                        match x % 3 {
+                            0 => {
+                                m.insert(k, k);
+                            }
+                            1 => {
+                                m.remove(&k);
+                            }
+                            _ => {
+                                m.contains(&k);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        // Every remaining key is observable.
+        let n = m.quiescent_len();
+        let observed = (0..64u64).filter(|k| m.contains(k)).count();
+        assert_eq!(n, observed);
+    }
+
+    #[test]
+    fn disjoint_range_parallel_inserts() {
+        let m: FineLockBst<u64, u64> = FineLockBst::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let m = &m;
+                s.spawn(move || {
+                    for i in 0..500 {
+                        assert!(m.insert(t * 10_000 + i, i));
+                    }
+                });
+            }
+        });
+        assert_eq!(m.quiescent_len(), 2_000);
+    }
+}

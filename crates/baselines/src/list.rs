@@ -1,0 +1,375 @@
+//! A lock-free ordered linked list (Harris 2001 / Michael 2002).
+//!
+//! The paper's marking protocol descends directly from Harris's linked
+//! list: "Harris avoided analogous problems in his linked list
+//! implementation by setting a 'marked' bit in the successor pointer of a
+//! node before deleting that node from the list" (Section 3). This module
+//! implements that ancestor technique — deletion first *marks* the victim's
+//! `next` pointer (tag bit 1), then physically unlinks it — both as a
+//! dictionary baseline for small key ranges and as a self-contained
+//! demonstration of the mark-before-unlink idea the tree generalizes.
+//!
+//! Physical unlinking follows Michael's variant: traversals CAS marked
+//! nodes out as they pass (and retire them to the epoch collector), and
+//! restart if a CAS fails.
+
+use nbbst_dictionary::ConcurrentMap;
+use nbbst_reclaim::{Atomic, Collector, Guard, Owned, Shared};
+use std::fmt;
+use std::sync::atomic::Ordering;
+
+const ORD: Ordering = Ordering::SeqCst;
+
+/// Tag bit on a node's `next` pointer: the node is logically deleted.
+const MARK: usize = 1;
+
+struct ListNode<K, V> {
+    key: K,
+    value: V,
+    next: Atomic<ListNode<K, V>>,
+}
+
+unsafe impl<K: Send + Sync, V: Send + Sync> Send for ListNode<K, V> {}
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for ListNode<K, V> {}
+
+/// A sorted lock-free linked-list dictionary.
+///
+/// `O(n)` operations — intended for correctness comparisons and
+/// small-key-range contention experiments, not as a scalable dictionary.
+///
+/// # Examples
+///
+/// ```
+/// use nbbst_baselines::LockFreeList;
+/// use nbbst_dictionary::ConcurrentMap;
+///
+/// let l: LockFreeList<u64, u64> = LockFreeList::new();
+/// assert!(l.insert(2, 20));
+/// assert!(l.insert(1, 10));
+/// assert!(!l.insert(2, 22));
+/// assert!(l.remove(&1));
+/// assert!(l.contains(&2));
+/// ```
+pub struct LockFreeList<K, V> {
+    head: Atomic<ListNode<K, V>>,
+    collector: Collector,
+}
+
+unsafe impl<K: Send + Sync, V: Send + Sync> Send for LockFreeList<K, V> {}
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for LockFreeList<K, V> {}
+
+/// Result of the internal search: the first unmarked node with
+/// `node.key >= key` (`curr`, possibly null) and the link that points to it.
+struct ListPos<'g, K, V> {
+    /// The `next` field of the predecessor (or the list head).
+    prev: &'g Atomic<ListNode<K, V>>,
+    curr: Shared<'g, ListNode<K, V>>,
+}
+
+impl<K, V> LockFreeList<K, V>
+where
+    K: Ord,
+{
+    /// Creates an empty list.
+    pub fn new() -> LockFreeList<K, V> {
+        LockFreeList {
+            head: Atomic::null(),
+            collector: Collector::new(),
+        }
+    }
+
+    /// Michael-style search: positions at `key`, unlinking (and retiring)
+    /// any marked nodes encountered. Restarts on CAS failure.
+    fn search<'g>(&'g self, key: &K, guard: &'g Guard) -> ListPos<'g, K, V> {
+        'retry: loop {
+            let mut prev: &'g Atomic<ListNode<K, V>> = &self.head;
+            let mut curr = prev.load(ORD, guard);
+            loop {
+                let Some(curr_ref) = (unsafe { curr.with_tag(0).as_ref() }) else {
+                    return ListPos { prev, curr: Shared::null() };
+                };
+                let next = curr_ref.next.load(ORD, guard);
+                if next.tag() & MARK != 0 {
+                    // `curr` is logically deleted: try to unlink it.
+                    let unmarked_next = next.with_tag(0);
+                    match prev.compare_exchange(
+                        curr.with_tag(0),
+                        unmarked_next,
+                        ORD,
+                        ORD,
+                        guard,
+                    ) {
+                        Ok(_) => {
+                            // SAFETY: we unlinked it; unique retire (only
+                            // the successful unlinker retires).
+                            unsafe { guard.defer_destroy(curr.with_tag(0)) };
+                            curr = unmarked_next;
+                            continue;
+                        }
+                        Err(_) => continue 'retry,
+                    }
+                }
+                if curr_ref.key >= *key {
+                    return ListPos { prev, curr: curr.with_tag(0) };
+                }
+                prev = &curr_ref.next;
+                curr = next;
+            }
+        }
+    }
+
+    /// Inserts `(key, value)`; `false` on duplicate.
+    pub fn insert_kv(&self, key: K, value: V) -> bool {
+        let guard = self.collector.pin();
+        let mut new = Owned::new(ListNode {
+            key,
+            value,
+            next: Atomic::null(),
+        });
+        loop {
+            let pos = self.search(&new.key, &guard);
+            if let Some(curr_ref) = unsafe { pos.curr.as_ref() } {
+                if curr_ref.key == new.key {
+                    return false; // duplicate (the allocation drops here)
+                }
+            }
+            new.next.store(pos.curr, ORD);
+            match pos
+                .prev
+                .compare_exchange(pos.curr, new, ORD, ORD, &guard)
+            {
+                Ok(_) => return true,
+                Err(e) => new = e.new, // reuse the allocation and retry
+            }
+        }
+    }
+
+    /// Removes `key`; `false` if absent.
+    pub fn remove_k(&self, key: &K) -> bool {
+        let guard = self.collector.pin();
+        loop {
+            let pos = self.search(key, &guard);
+            let Some(curr_ref) = (unsafe { pos.curr.as_ref() }) else {
+                return false;
+            };
+            if curr_ref.key != *key {
+                return false;
+            }
+            let next = curr_ref.next.load(ORD, &guard);
+            if next.tag() & MARK != 0 {
+                continue; // someone else is deleting it; re-search
+            }
+            // Logical deletion: mark the successor pointer (Harris).
+            if curr_ref
+                .next
+                .compare_exchange(next, next.with_tag(MARK), ORD, ORD, &guard)
+                .is_err()
+            {
+                continue;
+            }
+            // Physical deletion: best effort; a failed CAS leaves the node
+            // for the next traversal to unlink.
+            if pos
+                .prev
+                .compare_exchange(pos.curr, next.with_tag(0), ORD, ORD, &guard)
+                .is_ok()
+            {
+                // SAFETY: unique retire by the successful unlinker.
+                unsafe { guard.defer_destroy(pos.curr) };
+            }
+            return true;
+        }
+    }
+
+    /// Membership test (wait-free over the unmarked chain, restarts only
+    /// via `search`'s unlink CAS).
+    pub fn contains_k(&self, key: &K) -> bool {
+        let guard = self.collector.pin();
+        let pos = self.search(key, &guard);
+        matches!(unsafe { pos.curr.as_ref() }, Some(c) if c.key == *key)
+    }
+
+    /// Clones the value stored under `key`.
+    pub fn get_k(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        let guard = self.collector.pin();
+        let pos = self.search(key, &guard);
+        match unsafe { pos.curr.as_ref() } {
+            Some(c) if c.key == *key => Some(c.value.clone()),
+            _ => None,
+        }
+    }
+
+    /// Counts unmarked nodes (quiescent).
+    pub fn len_slow(&self) -> usize {
+        let guard = self.collector.pin();
+        let mut n = 0;
+        let mut curr = self.head.load(ORD, &guard);
+        while let Some(c) = unsafe { curr.with_tag(0).as_ref() } {
+            let next = c.next.load(ORD, &guard);
+            if next.tag() & MARK == 0 {
+                n += 1;
+            }
+            curr = next;
+        }
+        n
+    }
+
+    /// The keys currently in the list, in order (quiescent).
+    pub fn keys_snapshot(&self) -> Vec<K>
+    where
+        K: Clone,
+    {
+        let guard = self.collector.pin();
+        let mut keys = Vec::new();
+        let mut curr = self.head.load(ORD, &guard);
+        while let Some(c) = unsafe { curr.with_tag(0).as_ref() } {
+            let next = c.next.load(ORD, &guard);
+            if next.tag() & MARK == 0 {
+                keys.push(c.key.clone());
+            }
+            curr = next;
+        }
+        keys
+    }
+}
+
+impl<K: Ord, V> Default for LockFreeList<K, V> {
+    fn default() -> Self {
+        LockFreeList::new()
+    }
+}
+
+impl<K, V> ConcurrentMap<K, V> for LockFreeList<K, V>
+where
+    K: Ord + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    fn insert(&self, key: K, value: V) -> bool {
+        self.insert_kv(key, value)
+    }
+    fn remove(&self, key: &K) -> bool {
+        self.remove_k(key)
+    }
+    fn contains(&self, key: &K) -> bool {
+        self.contains_k(key)
+    }
+    fn get(&self, key: &K) -> Option<V> {
+        self.get_k(key)
+    }
+    fn quiescent_len(&self) -> usize {
+        self.len_slow()
+    }
+}
+
+impl<K, V> Drop for LockFreeList<K, V> {
+    fn drop(&mut self) {
+        // Free the remaining chain (marked nodes still linked included).
+        let guard = unsafe { nbbst_reclaim::unprotected() };
+        let mut curr = self.head.load(ORD, &guard);
+        while !curr.with_tag(0).is_null() {
+            // SAFETY: teardown; exclusive access.
+            let node = unsafe { Box::from_raw(curr.with_tag(0).as_raw() as *mut ListNode<K, V>) };
+            curr = node.next.load(ORD, &guard);
+        }
+    }
+}
+
+impl<K, V> fmt::Debug for LockFreeList<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("LockFreeList")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_semantics() {
+        let l: LockFreeList<u64, u64> = LockFreeList::new();
+        assert!(!l.contains(&1));
+        assert!(l.insert(1, 10));
+        assert!(!l.insert(1, 11));
+        assert_eq!(l.get(&1), Some(10));
+        assert!(l.remove(&1));
+        assert!(!l.remove(&1));
+        assert_eq!(l.quiescent_len(), 0);
+    }
+
+    #[test]
+    fn keys_stay_sorted() {
+        let l: LockFreeList<u64, ()> = LockFreeList::new();
+        for k in [5u64, 2, 9, 1, 7, 3] {
+            assert!(l.insert(k, ()));
+        }
+        assert_eq!(l.keys_snapshot(), vec![1, 2, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn marked_nodes_are_skipped_and_unlinked() {
+        let l: LockFreeList<u64, ()> = LockFreeList::new();
+        for k in 0..10u64 {
+            l.insert(k, ());
+        }
+        for k in (0..10u64).step_by(2) {
+            assert!(l.remove(&k));
+        }
+        assert_eq!(l.keys_snapshot(), vec![1, 3, 5, 7, 9]);
+        for k in (0..10u64).step_by(2) {
+            assert!(!l.contains(&k));
+        }
+    }
+
+    #[test]
+    fn concurrent_stress_agrees_with_observation() {
+        let l: LockFreeList<u64, u64> = LockFreeList::new();
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let l = &l;
+                s.spawn(move || {
+                    let mut x = t + 1;
+                    for _ in 0..2_000 {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let k = x % 32;
+                        match x % 3 {
+                            0 => {
+                                l.insert(k, k);
+                            }
+                            1 => {
+                                l.remove(&k);
+                            }
+                            _ => {
+                                l.contains(&k);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let n = l.quiescent_len();
+        let observed = (0..32u64).filter(|k| l.contains(k)).count();
+        assert_eq!(n, observed);
+        let keys = l.keys_snapshot();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(keys, sorted, "list must stay sorted and duplicate-free");
+    }
+
+    #[test]
+    fn drop_with_marked_but_linked_nodes() {
+        let l: LockFreeList<u64, u64> = LockFreeList::new();
+        for k in 0..100 {
+            l.insert(k, k);
+        }
+        for k in 0..100 {
+            l.remove(&k);
+        }
+        drop(l);
+    }
+}

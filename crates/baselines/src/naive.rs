@@ -1,0 +1,549 @@
+//! The *broken* single-CAS BST of the paper's Figure 3.
+//!
+//! "Simply using a CAS on the one child pointer that an update must change
+//! would lead to problems if there are concurrent updates" (Section 3).
+//! This module implements exactly that strawman — a leaf-oriented BST
+//! whose insert and delete each perform **one child CAS with no flagging
+//! or marking** — together with *prepared* (two-phase) operations so tests
+//! can replay the paper's two schedules deterministically:
+//!
+//! * **Figure 3(b)**: `Delete(C)` ∥ `Delete(E)` — after both CASes, the
+//!   deleted key `E` is still reachable.
+//! * **Figure 3(c)**: `Delete(E)` ∥ `Insert(F)` — the insert's CAS
+//!   succeeds, yet `F` ends up unreachable.
+//!
+//! The structure is **intentionally incorrect under concurrency**; it is
+//! sequentially correct (verified by property tests) and exists solely as
+//! the experimental control for the EFRB protocol.
+//!
+//! Prepared deletions capture their sibling pointer at *prepare* time, so
+//! memory is never retired here (freed only at drop) — the point is the
+//! lost-update anomaly, not reclamation.
+
+use nbbst_dictionary::{real_vs_node, SentinelKey};
+use nbbst_reclaim::{Atomic, Collector, Guard, Shared};
+use std::cmp::Ordering as CmpOrdering;
+use std::fmt;
+use std::sync::atomic::Ordering;
+
+const ORD: Ordering = Ordering::SeqCst;
+
+struct NaiveNode<K, V> {
+    key: SentinelKey<K>,
+    value: Option<V>,
+    is_leaf: bool,
+    left: Atomic<NaiveNode<K, V>>,
+    right: Atomic<NaiveNode<K, V>>,
+}
+
+unsafe impl<K: Send + Sync, V: Send + Sync> Send for NaiveNode<K, V> {}
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for NaiveNode<K, V> {}
+
+impl<K, V> NaiveNode<K, V> {
+    fn leaf(key: SentinelKey<K>, value: Option<V>) -> *mut NaiveNode<K, V> {
+        Box::into_raw(Box::new(NaiveNode {
+            key,
+            value,
+            is_leaf: true,
+            left: Atomic::null(),
+            right: Atomic::null(),
+        }))
+    }
+
+    fn internal(
+        key: SentinelKey<K>,
+        left: *const NaiveNode<K, V>,
+        right: *const NaiveNode<K, V>,
+    ) -> *mut NaiveNode<K, V> {
+        let n = Box::new(NaiveNode {
+            key,
+            value: None,
+            is_leaf: false,
+            left: Atomic::null(),
+            right: Atomic::null(),
+        });
+        unsafe {
+            n.left.store(Shared::from_data(left as usize), Ordering::Relaxed);
+            n.right
+                .store(Shared::from_data(right as usize), Ordering::Relaxed);
+        }
+        Box::into_raw(n)
+    }
+
+    fn child<'g>(&self, go_left: bool, guard: &'g Guard) -> Shared<'g, NaiveNode<K, V>> {
+        if go_left {
+            self.left.load(ORD, guard)
+        } else {
+            self.right.load(ORD, guard)
+        }
+    }
+}
+
+/// The Figure 3 strawman: a leaf-oriented BST whose updates are one bare
+/// child CAS each.
+///
+/// Correct sequentially; **loses updates under concurrency** (by design —
+/// see the module docs).
+pub struct NaiveBst<K, V> {
+    root: Box<NaiveNode<K, V>>,
+    collector: Collector,
+}
+
+unsafe impl<K: Send + Sync, V: Send + Sync> Send for NaiveBst<K, V> {}
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for NaiveBst<K, V> {}
+
+impl<K, V> NaiveBst<K, V>
+where
+    K: Ord + Clone,
+    V: Clone,
+{
+    /// Creates the sentinel tree of Figure 6(a).
+    pub fn new() -> NaiveBst<K, V> {
+        let left = NaiveNode::leaf(SentinelKey::Inf1, None);
+        let right = NaiveNode::leaf(SentinelKey::Inf2, None);
+        let root = NaiveNode::internal(SentinelKey::Inf2, left, right);
+        NaiveBst {
+            // SAFETY: just allocated, uniquely owned.
+            root: unsafe { Box::from_raw(root) },
+            collector: Collector::new(),
+        }
+    }
+
+    #[allow(clippy::type_complexity)] // (gp, gp_left, p, p_left, l) quintuple
+    fn search<'g>(
+        &self,
+        key: &K,
+        guard: &'g Guard,
+    ) -> (
+        Shared<'g, NaiveNode<K, V>>, // gp (may be null)
+        bool,                        // gp -> p went left?
+        Shared<'g, NaiveNode<K, V>>, // p
+        bool,                        // p -> l went left?
+        Shared<'g, NaiveNode<K, V>>, // l (leaf)
+    ) {
+        let mut gp: Shared<'g, NaiveNode<K, V>> = Shared::null();
+        let mut gp_left = false;
+        let mut p: Shared<'g, NaiveNode<K, V>> = Shared::null();
+        let mut p_left = false;
+        let mut l: Shared<'g, NaiveNode<K, V>> =
+            unsafe { Shared::from_data(&*self.root as *const NaiveNode<K, V> as usize) };
+        loop {
+            let l_ref = unsafe { l.deref() };
+            if l_ref.is_leaf {
+                break;
+            }
+            gp = p;
+            gp_left = p_left;
+            p = l;
+            p_left = real_vs_node(key, &l_ref.key) == CmpOrdering::Less;
+            l = l_ref.child(p_left, guard);
+        }
+        (gp, gp_left, p, p_left, l)
+    }
+
+    /// Two-phase insert: search and build the replacement subtree now,
+    /// CAS later ([`PreparedInsert::commit`]).
+    ///
+    /// Returns `None` if the key is already present.
+    pub fn prepare_insert(&self, key: K, value: V) -> Option<PreparedInsert<'_, K, V>> {
+        let guard = self.collector.pin();
+        let (_, _, p, p_left, l) = self.search(&key, &guard);
+        let l_ref = unsafe { l.deref() };
+        if l_ref.key.as_key() == Some(&key) {
+            return None;
+        }
+        let new_leaf = NaiveNode::leaf(SentinelKey::Key(key.clone()), Some(value));
+        let sibling = NaiveNode::leaf(l_ref.key.clone(), l_ref.value.clone());
+        let new_key = SentinelKey::Key(key);
+        let (routing, left, right) = if new_key < l_ref.key {
+            (l_ref.key.clone(), new_leaf as *const _, sibling as *const _)
+        } else {
+            (new_key, sibling as *const _, new_leaf as *const _)
+        };
+        let internal = NaiveNode::internal(routing, left, right);
+        let (p_raw, l_raw) = (p.as_raw(), l.as_raw());
+        Some(PreparedInsert {
+            _tree: std::marker::PhantomData,
+            guard,
+            p: p_raw,
+            p_left,
+            l: l_raw,
+            internal,
+            new_leaf,
+            sibling,
+        })
+    }
+
+    /// Two-phase delete: record grandparent, parent and the sibling
+    /// subtree now, CAS later ([`PreparedDelete::commit`]).
+    ///
+    /// Returns `None` if the key is absent.
+    pub fn prepare_delete(&self, key: &K) -> Option<PreparedDelete<'_, K, V>> {
+        let guard = self.collector.pin();
+        let (gp, gp_left, p, p_left, l) = self.search(key, &guard);
+        let l_ref = unsafe { l.deref() };
+        if l_ref.key.as_key() != Some(key) {
+            return None;
+        }
+        assert!(!gp.is_null(), "real leaves have grandparents");
+        let p_ref = unsafe { p.deref() };
+        let sibling = p_ref.child(!p_left, &guard);
+        let (gp_raw, p_raw, sib_raw) = (gp.as_raw(), p.as_raw(), sibling.as_raw());
+        Some(PreparedDelete {
+            guard,
+            gp: gp_raw,
+            gp_left,
+            p: p_raw,
+            sibling: sib_raw,
+            _tree: std::marker::PhantomData,
+        })
+    }
+
+    /// One-shot insert (prepare + commit loop); sequentially correct.
+    pub fn insert(&self, key: K, value: V) -> bool {
+        let mut kv = (key, value);
+        loop {
+            match self.prepare_insert(kv.0, kv.1) {
+                None => return false,
+                Some(prep) => match prep.commit() {
+                    CommitOutcome::Applied => return true,
+                    CommitOutcome::CasFailed(recovered) => match recovered {
+                        Some(pair) => kv = pair,
+                        None => unreachable!("insert commit returns the pair"),
+                    },
+                },
+            }
+        }
+    }
+
+    /// One-shot delete; sequentially correct.
+    pub fn remove(&self, key: &K) -> bool {
+        loop {
+            match self.prepare_delete(key) {
+                None => return false,
+                Some(prep) => {
+                    if matches!(prep.commit(), CommitOutcome::Applied) {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, key: &K) -> bool {
+        let guard = self.collector.pin();
+        let (_, _, _, _, l) = self.search(key, &guard);
+        unsafe { l.deref() }.key.as_key() == Some(key)
+    }
+
+    /// In-order snapshot of real keys — including any *resurrected* keys a
+    /// lost update left behind, which is how the Figure 3 anomalies are
+    /// observed.
+    pub fn keys_snapshot(&self) -> Vec<K> {
+        fn go<K: Clone, V>(
+            n: &NaiveNode<K, V>,
+            guard: &Guard,
+            out: &mut Vec<K>,
+        ) {
+            if n.is_leaf {
+                if let SentinelKey::Key(k) = &n.key {
+                    out.push(k.clone());
+                }
+                return;
+            }
+            go(unsafe { n.child(true, guard).deref() }, guard, out);
+            go(unsafe { n.child(false, guard).deref() }, guard, out);
+        }
+        let guard = self.collector.pin();
+        let mut keys = Vec::new();
+        go(&self.root, &guard, &mut keys);
+        keys
+    }
+}
+
+impl<K, V> Default for NaiveBst<K, V>
+where
+    K: Ord + Clone,
+    V: Clone,
+{
+    fn default() -> Self {
+        NaiveBst::new()
+    }
+}
+
+impl<K, V> Drop for NaiveBst<K, V> {
+    fn drop(&mut self) {
+        // The naive tree never retires nodes during operation (lost
+        // updates make unlink tracking unreliable — the whole point);
+        // instead, spliced-out subtrees are still reachable only from
+        // prepared ops. We free the reachable tree here; prepared-op
+        // allocations free themselves.
+        let guard = unsafe { nbbst_reclaim::unprotected() };
+        let mut stack = vec![
+            self.root.left.load(ORD, &guard).as_raw() as *mut NaiveNode<K, V>,
+            self.root.right.load(ORD, &guard).as_raw() as *mut NaiveNode<K, V>,
+        ];
+        while let Some(n) = stack.pop() {
+            if n.is_null() {
+                continue;
+            }
+            // SAFETY: teardown; tree nodes are reachable exactly once.
+            let node = unsafe { Box::from_raw(n) };
+            if !node.is_leaf {
+                stack.push(node.left.load(ORD, &guard).as_raw() as *mut _);
+                stack.push(node.right.load(ORD, &guard).as_raw() as *mut _);
+            }
+        }
+    }
+}
+
+impl<K, V> fmt::Debug for NaiveBst<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("NaiveBst")
+    }
+}
+
+/// Outcome of committing a prepared naive operation.
+#[derive(Debug)]
+pub enum CommitOutcome<K, V> {
+    /// The single CAS succeeded.
+    Applied,
+    /// The CAS failed (the tree changed under us). For inserts, the
+    /// `(key, value)` pair is handed back for a retry.
+    CasFailed(Option<(K, V)>),
+}
+
+/// A naive insert that has searched and built its subtree but not yet
+/// CASed. Holding several `Prepared*` values and committing them in a
+/// chosen order is how Figure 3 schedules are replayed.
+pub struct PreparedInsert<'t, K, V> {
+    _tree: std::marker::PhantomData<&'t NaiveBst<K, V>>,
+    guard: Guard,
+    p: *const NaiveNode<K, V>,
+    p_left: bool,
+    l: *const NaiveNode<K, V>,
+    /// Speculative subtree root; null once committed or reclaimed.
+    internal: *mut NaiveNode<K, V>,
+    new_leaf: *mut NaiveNode<K, V>,
+    sibling: *mut NaiveNode<K, V>,
+}
+
+impl<K, V> PreparedInsert<'_, K, V>
+where
+    K: Ord + Clone,
+    V: Clone,
+{
+    /// Performs the single child CAS.
+    pub fn commit(mut self) -> CommitOutcome<K, V> {
+        let p = unsafe { &*self.p };
+        let slot = if self.p_left { &p.left } else { &p.right };
+        let old: Shared<'_, NaiveNode<K, V>> = unsafe { Shared::from_data(self.l as usize) };
+        let new: Shared<'_, NaiveNode<K, V>> =
+            unsafe { Shared::from_data(self.internal as usize) };
+        match slot.compare_exchange(old, new, ORD, ORD, &self.guard) {
+            Ok(_) => {
+                // NOTE (deliberate bug): the replaced leaf is NOT retired
+                // and no flags were taken; concurrent updates can now lose
+                // each other's effects.
+                self.internal = std::ptr::null_mut(); // owned by the tree
+                CommitOutcome::Applied
+            }
+            Err(_) => {
+                // SAFETY: never published; reclaim the subtree and hand the
+                // key/value back for a retry.
+                let pair = unsafe {
+                    drop(Box::from_raw(self.internal));
+                    drop(Box::from_raw(self.sibling));
+                    let fresh = Box::from_raw(self.new_leaf);
+                    match (fresh.key, fresh.value) {
+                        (SentinelKey::Key(k), Some(v)) => Some((k, v)),
+                        _ => None,
+                    }
+                };
+                self.internal = std::ptr::null_mut();
+                CommitOutcome::CasFailed(pair)
+            }
+        }
+    }
+}
+
+impl<K, V> Drop for PreparedInsert<'_, K, V> {
+    fn drop(&mut self) {
+        if self.internal.is_null() {
+            return; // committed (tree owns it) or already reclaimed
+        }
+        // Never committed: free the speculative subtree.
+        // SAFETY: unpublished, exclusively ours.
+        unsafe {
+            drop(Box::from_raw(self.internal));
+            drop(Box::from_raw(self.sibling));
+            drop(Box::from_raw(self.new_leaf));
+        }
+    }
+}
+
+impl<K, V> fmt::Debug for PreparedInsert<'_, K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("PreparedInsert")
+    }
+}
+
+/// A naive delete that has searched (capturing its stale sibling pointer)
+/// but not yet CASed.
+pub struct PreparedDelete<'t, K, V> {
+    guard: Guard,
+    gp: *const NaiveNode<K, V>,
+    gp_left: bool,
+    p: *const NaiveNode<K, V>,
+    sibling: *const NaiveNode<K, V>,
+    // Ties the lifetime to the tree without an unused-field warning.
+    _tree: std::marker::PhantomData<&'t NaiveBst<K, V>>,
+}
+
+impl<K, V> PreparedDelete<'_, K, V>
+where
+    K: Ord + Clone,
+    V: Clone,
+{
+    /// Performs the single child CAS (splice the parent out, replacing it
+    /// by the *prepared-time* sibling — the staleness that loses updates).
+    pub fn commit(self) -> CommitOutcome<K, V> {
+        let gp = unsafe { &*self.gp };
+        let slot = if self.gp_left { &gp.left } else { &gp.right };
+        let old: Shared<'_, NaiveNode<K, V>> = unsafe { Shared::from_data(self.p as usize) };
+        let new: Shared<'_, NaiveNode<K, V>> =
+            unsafe { Shared::from_data(self.sibling as usize) };
+        match slot.compare_exchange(old, new, ORD, ORD, &self.guard) {
+            Ok(_) => CommitOutcome::Applied,
+            Err(_) => CommitOutcome::CasFailed(None),
+        }
+    }
+}
+
+impl<K, V> fmt::Debug for PreparedDelete<'_, K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("PreparedDelete")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequentially_correct() {
+        let t: NaiveBst<u64, u64> = NaiveBst::new();
+        assert!(t.insert(2, 20));
+        assert!(t.insert(1, 10));
+        assert!(!t.insert(2, 22));
+        assert!(t.contains(&1));
+        assert!(t.remove(&1));
+        assert!(!t.remove(&1));
+        assert_eq!(t.keys_snapshot(), vec![2]);
+    }
+
+    #[test]
+    fn failed_insert_commit_recovers_the_pair() {
+        let t: NaiveBst<u64, u64> = NaiveBst::new();
+        t.insert(10, 100);
+        // Two prepared inserts against the same leaf: the second commit
+        // loses its CAS and must hand the key/value back.
+        let first = t.prepare_insert(20, 200).unwrap();
+        let second = t.prepare_insert(30, 300).unwrap();
+        assert!(matches!(first.commit(), CommitOutcome::Applied));
+        match second.commit() {
+            CommitOutcome::CasFailed(Some((k, v))) => {
+                assert_eq!((k, v), (30, 300));
+            }
+            other => panic!("expected recovered pair, got {other:?}"),
+        }
+        assert!(t.contains(&20));
+        assert!(!t.contains(&30));
+        // A retry via the one-shot API lands it.
+        assert!(t.insert(30, 300));
+        assert!(t.contains(&30));
+    }
+
+    #[test]
+    fn failed_delete_commit_is_reported() {
+        let t: NaiveBst<u64, u64> = NaiveBst::new();
+        for k in [10u64, 20, 30] {
+            t.insert(k, k);
+        }
+        let a = t.prepare_delete(&20).unwrap();
+        let b = t.prepare_delete(&20).unwrap();
+        assert!(matches!(a.commit(), CommitOutcome::Applied));
+        assert!(matches!(b.commit(), CommitOutcome::CasFailed(None)));
+        assert!(!t.contains(&20));
+    }
+
+    #[test]
+    fn prepared_insert_dropped_without_commit_is_clean() {
+        let t: NaiveBst<u64, u64> = NaiveBst::new();
+        t.insert(5, 50);
+        let prep = t.prepare_insert(7, 70).unwrap();
+        drop(prep);
+        assert!(!t.contains(&7));
+        assert_eq!(t.keys_snapshot(), vec![5]);
+    }
+
+    /// Figure 3(b): two deletes whose CAS steps run back to back leave the
+    /// second deleted key reachable.
+    #[test]
+    fn figure_3b_concurrent_deletes_resurrect_a_key() {
+        // Keys mirror the figure: A=10 C=30 E=50 H=80 as leaves.
+        let t: NaiveBst<u64, u64> = NaiveBst::new();
+        for k in [10u64, 30, 50, 80] {
+            assert!(t.insert(k, k));
+        }
+        // Prepare both deletes against the same initial tree.
+        let del_c = t.prepare_delete(&30).unwrap();
+        let del_e = t.prepare_delete(&50).unwrap();
+        // Delete(E) commits first, then Delete(C) (its sibling snapshot
+        // still contains E's subtree).
+        assert!(matches!(del_e.commit(), CommitOutcome::Applied));
+        assert!(matches!(del_c.commit(), CommitOutcome::Applied));
+        // ANOMALY: E (=50) was deleted but is still in the tree.
+        assert!(
+            t.contains(&50),
+            "the naive tree must exhibit the Figure 3(b) lost delete"
+        );
+        assert!(!t.contains(&30));
+    }
+
+    /// Figure 3(c): a delete and an insert whose CAS steps run back to
+    /// back make the inserted key unreachable.
+    #[test]
+    fn figure_3c_insert_lost_under_concurrent_delete() {
+        let t: NaiveBst<u64, u64> = NaiveBst::new();
+        for k in [10u64, 30, 50, 80] {
+            assert!(t.insert(k, k));
+        }
+        // Prepare Delete(E=50) first (captures the pre-insert sibling),
+        // then Insert(F=60) commits, then the delete commits.
+        let del_e = t.prepare_delete(&50).unwrap();
+        let ins_f = t.prepare_insert(60, 60).unwrap();
+        assert!(matches!(ins_f.commit(), CommitOutcome::Applied));
+        assert!(matches!(del_e.commit(), CommitOutcome::Applied));
+        // ANOMALY: the insert's CAS succeeded, yet F (=60) is gone.
+        assert!(
+            !t.contains(&60),
+            "the naive tree must exhibit the Figure 3(c) lost insert"
+        );
+    }
+
+    #[test]
+    fn anomalies_visible_in_snapshot() {
+        let t: NaiveBst<u64, u64> = NaiveBst::new();
+        for k in [10u64, 30, 50, 80] {
+            t.insert(k, k);
+        }
+        let del_c = t.prepare_delete(&30).unwrap();
+        let del_e = t.prepare_delete(&50).unwrap();
+        del_e.commit();
+        del_c.commit();
+        let keys = t.keys_snapshot();
+        assert!(keys.contains(&50), "snapshot shows the resurrected key");
+    }
+}

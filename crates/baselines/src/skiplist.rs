@@ -1,0 +1,573 @@
+//! A lock-free skiplist (Herlihy–Shavit style, built on Harris marking).
+//!
+//! The paper opens with Doug Lea's remark that Java's non-blocking
+//! dictionary uses a *skiplist* because "there are no known efficient
+//! lock-free insertion and deletion algorithms for search trees". This
+//! module provides that incumbent as a from-scratch baseline, so the
+//! evaluation can put the EFRB tree next to exactly the structure it was
+//! positioned against.
+//!
+//! Design: a tower of Harris-marked lists. Insertion splices bottom-up
+//! (the bottom-level CAS linearizes), deletion marks top-down and
+//! linearizes at the bottom-level mark; traversals physically unlink
+//! marked nodes as they pass. The logical deleter retires the node to the
+//! epoch collector only after verifying it is unreachable from the head at
+//! every level, which makes reclamation safe without per-node reference
+//! counts.
+
+use nbbst_dictionary::ConcurrentMap;
+use nbbst_reclaim::{Atomic, Collector, Guard, Owned, Shared};
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::Ordering;
+
+const ORD: Ordering = Ordering::SeqCst;
+const MARK: usize = 1;
+
+/// Maximum tower height; supports ~2^20 elements comfortably.
+const MAX_HEIGHT: usize = 20;
+
+struct SkipNode<K, V> {
+    key: K,
+    value: V,
+    height: usize,
+    next: [Atomic<SkipNode<K, V>>; MAX_HEIGHT],
+}
+
+unsafe impl<K: Send + Sync, V: Send + Sync> Send for SkipNode<K, V> {}
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for SkipNode<K, V> {}
+
+/// A lock-free skiplist dictionary.
+///
+/// # Examples
+///
+/// ```
+/// use nbbst_baselines::SkipList;
+/// use nbbst_dictionary::ConcurrentMap;
+///
+/// let s: SkipList<u64, u64> = SkipList::new();
+/// assert!(s.insert(5, 50));
+/// assert!(!s.insert(5, 55));
+/// assert_eq!(s.get(&5), Some(50));
+/// assert!(s.remove(&5));
+/// ```
+pub struct SkipList<K, V> {
+    head: [Atomic<SkipNode<K, V>>; MAX_HEIGHT],
+    collector: Collector,
+}
+
+unsafe impl<K: Send + Sync, V: Send + Sync> Send for SkipList<K, V> {}
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for SkipList<K, V> {}
+
+thread_local! {
+    /// Per-thread xorshift state for tower heights (no locking, no global
+    /// RNG contention). Zero means "not yet seeded".
+    static HEIGHT_RNG: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Distinct per-thread seeds.
+static SEED_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+fn random_height() -> usize {
+    HEIGHT_RNG.with(|state| {
+        let mut x = state.get();
+        if x == 0 {
+            x = SEED_COUNTER
+                .fetch_add(1, Ordering::Relaxed)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                | 1;
+        }
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        state.set(x);
+        // Geometric with p = 1/2, capped at MAX_HEIGHT.
+        (((x as u32) | 0x8000_0000).trailing_zeros() as usize + 1).min(MAX_HEIGHT)
+    })
+}
+
+impl<K, V> SkipList<K, V>
+where
+    K: Ord,
+{
+    /// Creates an empty skiplist.
+    pub fn new() -> SkipList<K, V> {
+        SkipList {
+            head: std::array::from_fn(|_| Atomic::null()),
+            collector: Collector::new(),
+        }
+    }
+
+    /// Positions `preds`/`succs` around `key` at every level, unlinking
+    /// marked nodes on the way. Returns `true` iff an unmarked node with
+    /// `key` sits at the bottom level (in `succs[0]`).
+    fn find<'g>(
+        &'g self,
+        key: &K,
+        preds: &mut [&'g Atomic<SkipNode<K, V>>; MAX_HEIGHT],
+        succs: &mut [Shared<'g, SkipNode<K, V>>; MAX_HEIGHT],
+        guard: &'g Guard,
+    ) -> bool {
+        'retry: loop {
+            // `pred_node` is the rightmost node with key < `key` seen so
+            // far (None = the head); descending a level continues from its
+            // next-lower link.
+            let mut pred_node: Option<&'g SkipNode<K, V>> = None;
+            for level in (0..MAX_HEIGHT).rev() {
+                let mut link: &'g Atomic<SkipNode<K, V>> = match pred_node {
+                    None => &self.head[level],
+                    Some(p) => &p.next[level],
+                };
+                let mut curr = link.load(ORD, guard);
+                #[allow(clippy::while_let_loop)] // symmetric break structure
+                loop {
+                    let Some(curr_ref) = (unsafe { curr.with_tag(0).as_ref() }) else {
+                        break;
+                    };
+                    let next = curr_ref.next[level].load(ORD, guard);
+                    if next.tag() & MARK != 0 {
+                        // Unlink the marked node at this level (do NOT
+                        // retire: it may be linked at other levels; its
+                        // deleter retires after full unlink).
+                        match link.compare_exchange(
+                            curr.with_tag(0),
+                            next.with_tag(0),
+                            ORD,
+                            ORD,
+                            guard,
+                        ) {
+                            Ok(_) => {
+                                curr = next.with_tag(0);
+                                continue;
+                            }
+                            Err(_) => continue 'retry,
+                        }
+                    }
+                    if curr_ref.key < *key {
+                        pred_node = Some(curr_ref);
+                        link = &curr_ref.next[level];
+                        curr = next;
+                        continue;
+                    }
+                    break;
+                }
+                preds[level] = link;
+                succs[level] = curr.with_tag(0);
+            }
+            let found = match unsafe { succs[0].as_ref() } {
+                Some(c) if c.key == *key => {
+                    c.next[0].load(ORD, guard).tag() & MARK == 0
+                }
+                _ => false,
+            };
+            return found;
+        }
+    }
+
+    /// Inserts `(key, value)`; `false` on duplicate.
+    pub fn insert_kv(&self, key: K, value: V) -> bool {
+        let guard = self.collector.pin();
+        let height = random_height();
+        let mut preds: [&Atomic<SkipNode<K, V>>; MAX_HEIGHT] =
+            std::array::from_fn(|i| &self.head[i]);
+        let mut succs: [Shared<'_, SkipNode<K, V>>; MAX_HEIGHT] =
+            [Shared::null(); MAX_HEIGHT];
+
+        let mut node = Owned::new(SkipNode {
+            key,
+            value,
+            height,
+            next: std::array::from_fn(|_| Atomic::null()),
+        });
+        loop {
+            if self.find(&node.key, &mut preds, &mut succs, &guard) {
+                return false; // duplicate (allocation drops)
+            }
+            for (level, succ) in succs.iter().enumerate().take(height) {
+                node.next[level].store(*succ, ORD);
+            }
+            // Bottom-level splice: the linearization point of a successful
+            // insert.
+            let node_shared = match preds[0].compare_exchange(succs[0], node, ORD, ORD, &guard) {
+                Ok(s) => s,
+                Err(e) => {
+                    node = e.new;
+                    continue;
+                }
+            };
+            // SAFETY: just published under our guard.
+            let node_ref = unsafe { node_shared.deref() };
+
+            // Link the upper levels.
+            'levels: for level in 1..height {
+                loop {
+                    let cur = node_ref.next[level].load(ORD, &guard);
+                    if cur.tag() & MARK != 0 {
+                        break 'levels; // deletion already in progress
+                    }
+                    let succ = succs[level];
+                    // Keep our forward pointer current before exposing it.
+                    if cur != succ
+                        && node_ref.next[level]
+                            .compare_exchange(cur, succ, ORD, ORD, &guard)
+                            .is_err()
+                    {
+                        continue; // re-read (marked or raced)
+                    }
+                    if preds[level]
+                        .compare_exchange(succ, node_shared, ORD, ORD, &guard)
+                        .is_ok()
+                    {
+                        break;
+                    }
+                    // Lost a race at this level: recompute the neighborhood.
+                    self.find(&node_ref.key, &mut preds, &mut succs, &guard);
+                    // If our own node shows up as the successor (it is now
+                    // linked at this level via helping-free races), stop.
+                    if succs[level] == node_shared {
+                        break;
+                    }
+                }
+            }
+            return true;
+        }
+    }
+
+    /// Removes `key`; `false` if absent.
+    pub fn remove_k(&self, key: &K) -> bool {
+        let guard = self.collector.pin();
+        let mut preds: [&Atomic<SkipNode<K, V>>; MAX_HEIGHT] =
+            std::array::from_fn(|i| &self.head[i]);
+        let mut succs: [Shared<'_, SkipNode<K, V>>; MAX_HEIGHT] =
+            [Shared::null(); MAX_HEIGHT];
+        if !self.find(key, &mut preds, &mut succs, &guard) {
+            return false;
+        }
+        let node = succs[0];
+        // SAFETY: found under our guard.
+        let node_ref = unsafe { node.deref() };
+
+        // Mark the upper levels top-down (freezes the tower).
+        for level in (1..node_ref.height).rev() {
+            loop {
+                let next = node_ref.next[level].load(ORD, &guard);
+                if next.tag() & MARK != 0 {
+                    break;
+                }
+                if node_ref.next[level]
+                    .compare_exchange(next, next.with_tag(MARK), ORD, ORD, &guard)
+                    .is_ok()
+                {
+                    break;
+                }
+            }
+        }
+        // Bottom-level mark: the linearization point. Exactly one thread
+        // wins and owns the reclamation duty.
+        loop {
+            let next = node_ref.next[0].load(ORD, &guard);
+            if next.tag() & MARK != 0 {
+                // Another deleter linearized first; help unlink and lose.
+                self.find(key, &mut preds, &mut succs, &guard);
+                return false;
+            }
+            if node_ref.next[0]
+                .compare_exchange(next, next.with_tag(MARK), ORD, ORD, &guard)
+                .is_ok()
+            {
+                // Physically unlink at every level, then retire once the
+                // node is unreachable from the head.
+                self.find(key, &mut preds, &mut succs, &guard);
+                let mut spins = 0usize;
+                while self.is_linked(node, key, &guard) {
+                    self.find(key, &mut preds, &mut succs, &guard);
+                    spins += 1;
+                    debug_assert!(spins < 1_000_000, "unlink verification diverged");
+                }
+                // SAFETY: unreachable from the head at every level, and we
+                // are the unique logical deleter.
+                unsafe { guard.defer_destroy(node) };
+                return true;
+            }
+        }
+    }
+
+    /// Whether `node` is still reachable from the head at any level.
+    ///
+    /// Descends with key comparisons exactly like a search (`O(log n)`
+    /// expected — a naive per-level scan from the head would make every
+    /// delete `O(n)`), then scans the short equal-key run at each level
+    /// for pointer equality.
+    fn is_linked(
+        &self,
+        node: Shared<'_, SkipNode<K, V>>,
+        key: &K,
+        guard: &Guard,
+    ) -> bool {
+        let node = node.with_tag(0);
+        let mut pred: Option<&SkipNode<K, V>> = None;
+        for level in (0..MAX_HEIGHT).rev() {
+            let link: &Atomic<SkipNode<K, V>> = match pred {
+                None => &self.head[level],
+                Some(p) => &p.next[level],
+            };
+            let mut curr = link.load(ORD, guard).with_tag(0);
+            // Advance while strictly below `key`, remembering the pred for
+            // the next level down.
+            while let Some(c) = unsafe { curr.as_ref() } {
+                if c.key >= *key {
+                    break;
+                }
+                pred = Some(c);
+                curr = c.next[level].load(ORD, guard).with_tag(0);
+            }
+            // Scan the (short) run of equal keys at this level.
+            let mut scan = curr;
+            while let Some(c) = unsafe { scan.as_ref() } {
+                if c.key > *key {
+                    break;
+                }
+                if scan == node {
+                    return true;
+                }
+                scan = c.next[level].load(ORD, guard).with_tag(0);
+            }
+        }
+        false
+    }
+
+    /// Membership test.
+    pub fn contains_k(&self, key: &K) -> bool {
+        let guard = self.collector.pin();
+        let mut preds: [&Atomic<SkipNode<K, V>>; MAX_HEIGHT] =
+            std::array::from_fn(|i| &self.head[i]);
+        let mut succs: [Shared<'_, SkipNode<K, V>>; MAX_HEIGHT] =
+            [Shared::null(); MAX_HEIGHT];
+        self.find(key, &mut preds, &mut succs, &guard)
+    }
+
+    /// Clones the value stored under `key`.
+    pub fn get_k(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        let guard = self.collector.pin();
+        let mut preds: [&Atomic<SkipNode<K, V>>; MAX_HEIGHT] =
+            std::array::from_fn(|i| &self.head[i]);
+        let mut succs: [Shared<'_, SkipNode<K, V>>; MAX_HEIGHT] =
+            [Shared::null(); MAX_HEIGHT];
+        if self.find(key, &mut preds, &mut succs, &guard) {
+            // SAFETY: `find` returned it under our guard.
+            Some(unsafe { succs[0].deref() }.value.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Counts unmarked bottom-level nodes (quiescent).
+    pub fn len_slow(&self) -> usize {
+        let guard = self.collector.pin();
+        let mut n = 0;
+        let mut curr = self.head[0].load(ORD, &guard).with_tag(0);
+        while let Some(c) = unsafe { curr.as_ref() } {
+            let next = c.next[0].load(ORD, &guard);
+            if next.tag() & MARK == 0 {
+                n += 1;
+            }
+            curr = next.with_tag(0);
+        }
+        n
+    }
+
+    /// The keys currently present, in order (quiescent).
+    pub fn keys_snapshot(&self) -> Vec<K>
+    where
+        K: Clone,
+    {
+        let guard = self.collector.pin();
+        let mut keys = Vec::new();
+        let mut curr = self.head[0].load(ORD, &guard).with_tag(0);
+        while let Some(c) = unsafe { curr.as_ref() } {
+            let next = c.next[0].load(ORD, &guard);
+            if next.tag() & MARK == 0 {
+                keys.push(c.key.clone());
+            }
+            curr = next.with_tag(0);
+        }
+        keys
+    }
+}
+
+impl<K: Ord, V> Default for SkipList<K, V> {
+    fn default() -> Self {
+        SkipList::new()
+    }
+}
+
+impl<K, V> ConcurrentMap<K, V> for SkipList<K, V>
+where
+    K: Ord + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    fn insert(&self, key: K, value: V) -> bool {
+        self.insert_kv(key, value)
+    }
+    fn remove(&self, key: &K) -> bool {
+        self.remove_k(key)
+    }
+    fn contains(&self, key: &K) -> bool {
+        self.contains_k(key)
+    }
+    fn get(&self, key: &K) -> Option<V> {
+        self.get_k(key)
+    }
+    fn quiescent_len(&self) -> usize {
+        self.len_slow()
+    }
+}
+
+impl<K, V> Drop for SkipList<K, V> {
+    fn drop(&mut self) {
+        // Free the bottom-level chain; towers are interior pointers of the
+        // same allocations. Marked-but-linked nodes are included.
+        let guard = unsafe { nbbst_reclaim::unprotected() };
+        let mut curr = self.head[0].load(ORD, &guard).with_tag(0);
+        while !curr.is_null() {
+            // SAFETY: teardown; exclusive access. Every node is linked at
+            // the bottom level exactly once.
+            let node =
+                unsafe { Box::from_raw(curr.as_raw() as *mut SkipNode<K, V>) };
+            curr = node.next[0].load(ORD, &guard).with_tag(0);
+        }
+    }
+}
+
+impl<K, V> fmt::Debug for SkipList<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SkipList")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_semantics() {
+        let s: SkipList<u64, u64> = SkipList::new();
+        assert!(!s.contains(&1));
+        assert!(s.insert(1, 10));
+        assert!(!s.insert(1, 11));
+        assert_eq!(s.get(&1), Some(10));
+        assert!(s.remove(&1));
+        assert!(!s.remove(&1));
+        assert_eq!(s.quiescent_len(), 0);
+    }
+
+    #[test]
+    fn keys_stay_sorted_across_levels() {
+        let s: SkipList<u64, ()> = SkipList::new();
+        for k in [50u64, 20, 90, 10, 70, 30, 60, 40, 80] {
+            assert!(s.insert(k, ()));
+        }
+        assert_eq!(
+            s.keys_snapshot(),
+            vec![10, 20, 30, 40, 50, 60, 70, 80, 90]
+        );
+    }
+
+    #[test]
+    fn interleaved_insert_remove() {
+        let s: SkipList<u64, u64> = SkipList::new();
+        for k in 0..200u64 {
+            assert!(s.insert(k, k));
+        }
+        for k in (0..200u64).step_by(2) {
+            assert!(s.remove(&k));
+        }
+        assert_eq!(s.quiescent_len(), 100);
+        for k in 0..200u64 {
+            assert_eq!(s.contains(&k), k % 2 == 1, "key {k}");
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts() {
+        let s: SkipList<u64, u64> = SkipList::new();
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let s = &s;
+                scope.spawn(move || {
+                    for i in 0..500 {
+                        assert!(s.insert(t * 10_000 + i, i));
+                    }
+                });
+            }
+        });
+        assert_eq!(s.quiescent_len(), 4_000);
+        let keys = s.keys_snapshot();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn concurrent_mixed_stress() {
+        let s: SkipList<u64, u64> = SkipList::new();
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let s = &s;
+                scope.spawn(move || {
+                    let mut x = t + 1;
+                    for _ in 0..3_000 {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let k = x % 64;
+                        match x % 3 {
+                            0 => {
+                                s.insert(k, k);
+                            }
+                            1 => {
+                                s.remove(&k);
+                            }
+                            _ => {
+                                s.contains(&k);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let n = s.quiescent_len();
+        let observed = (0..64u64).filter(|k| s.contains(k)).count();
+        assert_eq!(n, observed);
+        let keys = s.keys_snapshot();
+        let mut dedup = keys.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(keys, dedup, "sorted, duplicate-free bottom level");
+    }
+
+    #[test]
+    fn contended_same_key_insert_remove() {
+        let s: SkipList<u64, u64> = SkipList::new();
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let s = &s;
+                scope.spawn(move || {
+                    for i in 0..2_000u64 {
+                        if (t + i) % 2 == 0 {
+                            s.insert(7, i);
+                        } else {
+                            s.remove(&7);
+                        }
+                    }
+                });
+            }
+        });
+        let n = s.quiescent_len();
+        assert!(n <= 1, "at most one instance of the key: {n}");
+        assert_eq!(s.contains(&7), n == 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! The standard-library reference point: `RwLock<BTreeMap>`.
+//!
+//! Not part of the paper's comparison set, but the first thing a Rust
+//! practitioner would reach for — including it anchors every experiment
+//! table to a familiar baseline (and shows what the lock-free structures
+//! must beat to be worth adopting on a given machine).
+
+use nbbst_dictionary::{ConcurrentMap, SeqMap};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// `parking_lot::RwLock<std::collections::BTreeMap>` behind the common
+/// dictionary interface (duplicate-rejecting insert, like the paper's).
+///
+/// # Examples
+///
+/// ```
+/// use nbbst_baselines::StdBTreeMap;
+/// use nbbst_dictionary::ConcurrentMap;
+///
+/// let m: StdBTreeMap<u64, u64> = StdBTreeMap::new();
+/// assert!(m.insert(1, 10));
+/// assert!(!m.insert(1, 11));
+/// assert_eq!(m.get(&1), Some(10));
+/// ```
+pub struct StdBTreeMap<K, V> {
+    inner: RwLock<BTreeMap<K, V>>,
+}
+
+impl<K: Ord, V> StdBTreeMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> StdBTreeMap<K, V> {
+        StdBTreeMap {
+            inner: RwLock::new(BTreeMap::new()),
+        }
+    }
+}
+
+impl<K: Ord, V> Default for StdBTreeMap<K, V> {
+    fn default() -> Self {
+        StdBTreeMap::new()
+    }
+}
+
+impl<K, V> ConcurrentMap<K, V> for StdBTreeMap<K, V>
+where
+    K: Ord + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    fn insert(&self, key: K, value: V) -> bool {
+        SeqMap::insert(&mut *self.inner.write(), key, value)
+    }
+    fn remove(&self, key: &K) -> bool {
+        SeqMap::remove(&mut *self.inner.write(), key)
+    }
+    fn contains(&self, key: &K) -> bool {
+        SeqMap::contains(&*self.inner.read(), key)
+    }
+    fn get(&self, key: &K) -> Option<V> {
+        SeqMap::get(&*self.inner.read(), key)
+    }
+    fn quiescent_len(&self) -> usize {
+        self.inner.read().len()
+    }
+}
+
+impl<K: Ord + fmt::Debug, V: fmt::Debug> fmt::Debug for StdBTreeMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.inner.read().iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn semantics_match_the_dictionary_contract() {
+        let m: StdBTreeMap<u64, &str> = StdBTreeMap::new();
+        assert!(!m.contains(&1));
+        assert!(m.insert(1, "a"));
+        assert!(!m.insert(1, "b"), "duplicate rejected");
+        assert_eq!(m.get(&1), Some("a"), "not overwritten");
+        assert!(m.remove(&1));
+        assert!(m.quiescent_is_empty());
+    }
+
+    #[test]
+    fn concurrent_access_is_serializable() {
+        let m: StdBTreeMap<u64, u64> = StdBTreeMap::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let m = &m;
+                s.spawn(move || {
+                    for i in 0..500 {
+                        m.insert(t * 1_000 + i, i);
+                        m.contains(&(t * 1_000 + i));
+                    }
+                });
+            }
+        });
+        assert_eq!(m.quiescent_len(), 2_000);
+    }
+}

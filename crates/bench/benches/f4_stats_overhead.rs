@@ -1,0 +1,47 @@
+//! **F4 (bench)** — cost of the Figure-4 transition instrumentation:
+//! identical single-threaded batches on a tree with and without the CAS
+//! counters attached. Verifies the stats used to regenerate Figure 4 do
+//! not distort the measured system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nbbst_core::NbBst;
+use std::time::Duration;
+
+fn batch(tree: &NbBst<u64, u64>) {
+    let mut x = 7u64;
+    for _ in 0..10_000 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let k = x % 512;
+        match x % 3 {
+            0 => {
+                tree.insert_entry(k, k).ok();
+            }
+            1 => {
+                tree.remove_key(&k);
+            }
+            _ => {
+                tree.contains_key(&k);
+            }
+        }
+    }
+}
+
+fn f4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("F4_stats_overhead");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group.throughput(criterion::Throughput::Elements(10_000));
+    group.bench_function("stats_off", |b| {
+        let tree: NbBst<u64, u64> = NbBst::new();
+        b.iter(|| batch(&tree));
+    });
+    group.bench_function("stats_on", |b| {
+        let tree: NbBst<u64, u64> = NbBst::with_stats();
+        b.iter(|| batch(&tree));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, f4);
+criterion_main!(benches);

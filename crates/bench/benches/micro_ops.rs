@@ -1,0 +1,85 @@
+//! Micro-benchmarks of individual operations: EFRB tree vs. the
+//! sequential model vs. `BTreeMap` (single-threaded floor costs), plus
+//! Search path length effects.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbbst_core::NbBst;
+use nbbst_dictionary::SeqMap;
+use nbbst_model::LeafBst;
+use std::time::Duration;
+
+fn micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_ops");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    for n in [1_000u64, 100_000] {
+        // Prefilled structures.
+        let tree: NbBst<u64, u64> = NbBst::new();
+        let mut model: LeafBst<u64, u64> = LeafBst::new();
+        let mut btree = std::collections::BTreeMap::new();
+        let mut x = 3u64;
+        for _ in 0..n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let k = x % (n * 2);
+            tree.insert_entry(k, k).ok();
+            SeqMap::insert(&mut model, k, k);
+            SeqMap::insert(&mut btree, k, k);
+        }
+
+        group.bench_function(BenchmarkId::new("nbbst_contains", n), |b| {
+            let mut y = 17u64;
+            b.iter(|| {
+                y ^= y << 13;
+                y ^= y >> 7;
+                y ^= y << 17;
+                std::hint::black_box(tree.contains_key(&(y % (n * 2))))
+            });
+        });
+        group.bench_function(BenchmarkId::new("leafbst_contains", n), |b| {
+            let mut y = 17u64;
+            b.iter(|| {
+                y ^= y << 13;
+                y ^= y >> 7;
+                y ^= y << 17;
+                std::hint::black_box(SeqMap::contains(&model, &(y % (n * 2))))
+            });
+        });
+        group.bench_function(BenchmarkId::new("btreemap_contains", n), |b| {
+            let mut y = 17u64;
+            b.iter(|| {
+                y ^= y << 13;
+                y ^= y >> 7;
+                y ^= y << 17;
+                std::hint::black_box(SeqMap::contains(&btree, &(y % (n * 2))))
+            });
+        });
+        group.bench_function(BenchmarkId::new("nbbst_contains_with_cleanup", n), |b| {
+            // The Section-6 cleaning search reads the update word per hop;
+            // this quantifies that extra cost against plain contains.
+            let mut y = 17u64;
+            b.iter(|| {
+                y ^= y << 13;
+                y ^= y >> 7;
+                y ^= y << 17;
+                std::hint::black_box(tree.contains_with_cleanup(&(y % (n * 2))))
+            });
+        });
+        group.bench_function(BenchmarkId::new("nbbst_insert_remove", n), |b| {
+            let mut y = 29u64;
+            b.iter(|| {
+                y ^= y << 13;
+                y ^= y >> 7;
+                y ^= y << 17;
+                let k = (n * 2) + y % 64; // churn a side range
+                tree.insert_entry(k, k).ok();
+                tree.remove_key(&k);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, micro);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! **T1 (bench)** — throughput vs. thread count for every structure,
+//! measured as time per fixed batch of mixed operations (90/5/5).
+//!
+//! Criterion's lower-is-better time per batch corresponds to the
+//! higher-is-better Mops/s column of `exp_scalability`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbbst_harness::{prefill, run_ops, WorkloadSpec};
+use std::time::Duration;
+
+fn t1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("T1_scalability_90f5i5d");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let spec = WorkloadSpec::read_heavy(1 << 14);
+    const OPS_PER_THREAD: u64 = 20_000;
+
+    for threads in [1usize, 2, 4] {
+        for (name, make) in nbbst_bench::scalable_structures() {
+            group.throughput(criterion::Throughput::Elements(
+                OPS_PER_THREAD * threads as u64,
+            ));
+            group.bench_with_input(
+                BenchmarkId::new(name, threads),
+                &threads,
+                |b, &threads| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..iters {
+                            let map = make();
+                            prefill(&*map, &spec);
+                            let r = run_ops(&*map, &spec, threads, OPS_PER_THREAD);
+                            total += r.elapsed;
+                        }
+                        total
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, t1);
+criterion_main!(benches);

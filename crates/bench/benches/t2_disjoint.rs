@@ -1,0 +1,63 @@
+//! **T2 (bench)** — update-only batches over disjoint per-thread key
+//! slices vs one shared range, on the EFRB tree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbbst_core::NbBst;
+use nbbst_dictionary::ConcurrentMap;
+use std::time::{Duration, Instant};
+
+fn batch(tree: &NbBst<u64, u64>, threads: usize, disjoint: bool, total_range: u64, ops: u64) {
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let tree = &*tree;
+            s.spawn(move || {
+                let slice = total_range / threads as u64;
+                let (base, span) = if disjoint {
+                    (t as u64 * slice, slice)
+                } else {
+                    (0, total_range)
+                };
+                let mut x = t as u64 + 1;
+                for _ in 0..ops {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let k = base + x % span;
+                    if x & 1 == 0 {
+                        tree.insert(k, k);
+                    } else {
+                        tree.remove(&k);
+                    }
+                }
+            });
+        }
+    });
+}
+
+fn t2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("T2_disjoint_vs_overlapping");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    const THREADS: usize = 4;
+    const OPS: u64 = 20_000;
+    const RANGE: u64 = 1 << 14;
+
+    for (label, disjoint) in [("disjoint", true), ("overlapping", false)] {
+        group.throughput(criterion::Throughput::Elements(OPS * THREADS as u64));
+        group.bench_with_input(BenchmarkId::new(label, THREADS), &disjoint, |b, &dj| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let tree: NbBst<u64, u64> = NbBst::new();
+                    let start = Instant::now();
+                    batch(&tree, THREADS, dj, RANGE, OPS);
+                    total += start.elapsed();
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, t2);
+criterion_main!(benches);

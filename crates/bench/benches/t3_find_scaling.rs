@@ -1,0 +1,42 @@
+//! **T3 (bench)** — 100% Find batches across structures and thread
+//! counts ("Find operations only perform reads of shared memory").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbbst_harness::{prefill, run_ops, OpMix, WorkloadSpec};
+use std::time::Duration;
+
+fn t3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("T3_find_only");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let spec = WorkloadSpec {
+        mix: OpMix::READ_ONLY,
+        ..WorkloadSpec::read_heavy(1 << 14)
+    };
+    const OPS_PER_THREAD: u64 = 30_000;
+
+    for threads in [1usize, 4] {
+        for (name, make) in nbbst_bench::scalable_structures() {
+            group.throughput(criterion::Throughput::Elements(
+                OPS_PER_THREAD * threads as u64,
+            ));
+            group.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, &threads| {
+                // Reuse one prefilled map across iterations (reads don't
+                // perturb it).
+                let map = make();
+                prefill(&*map, &spec);
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let r = run_ops(&*map, &spec, threads, OPS_PER_THREAD);
+                        total += r.elapsed;
+                    }
+                    total
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, t3);
+criterion_main!(benches);

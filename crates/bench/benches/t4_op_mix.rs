@@ -1,0 +1,49 @@
+//! **T4 (bench)** — operation-mix sweep on the EFRB tree and the
+//! skiplist incumbent.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbbst_harness::{prefill, run_ops, OpMix, WorkloadSpec};
+use std::time::Duration;
+
+fn t4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("T4_op_mix");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    const THREADS: usize = 4;
+    const OPS_PER_THREAD: u64 = 20_000;
+
+    for (mix_name, mix) in [
+        ("read_only", OpMix::READ_ONLY),
+        ("read_heavy", OpMix::READ_HEAVY),
+        ("balanced", OpMix::BALANCED),
+        ("update_only", OpMix::UPDATE_ONLY),
+    ] {
+        let spec = WorkloadSpec {
+            mix,
+            ..WorkloadSpec::read_heavy(1 << 14)
+        };
+        for (name, make) in [
+            nbbst_bench::scalable_structures()[0], // nbbst
+            nbbst_bench::scalable_structures()[1], // skiplist
+        ] {
+            group.throughput(criterion::Throughput::Elements(
+                OPS_PER_THREAD * THREADS as u64,
+            ));
+            group.bench_function(BenchmarkId::new(name, mix_name), |b| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let map = make();
+                        prefill(&*map, &spec);
+                        let r = run_ops(&*map, &spec, THREADS, OPS_PER_THREAD);
+                        total += r.elapsed;
+                    }
+                    total
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, t4);
+criterion_main!(benches);

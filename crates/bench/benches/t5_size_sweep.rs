@@ -1,0 +1,41 @@
+//! **T5 (bench)** — read-heavy throughput as the key range grows
+//! (logarithmic-depth check is in `exp_size_sweep`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbbst_harness::{prefill, run_ops, WorkloadSpec};
+use std::time::Duration;
+
+fn t5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("T5_size_sweep");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    const THREADS: usize = 2;
+    const OPS_PER_THREAD: u64 = 20_000;
+
+    for exp in [8u32, 12, 16] {
+        let spec = WorkloadSpec::read_heavy(1 << exp);
+        for (name, make) in [
+            nbbst_bench::scalable_structures()[0],
+            nbbst_bench::scalable_structures()[1],
+        ] {
+            group.throughput(criterion::Throughput::Elements(
+                OPS_PER_THREAD * THREADS as u64,
+            ));
+            group.bench_function(BenchmarkId::new(name, format!("2^{exp}")), |b| {
+                let map = make();
+                prefill(&*map, &spec);
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let r = run_ops(&*map, &spec, THREADS, OPS_PER_THREAD);
+                        total += r.elapsed;
+                    }
+                    total
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, t5);
+criterion_main!(benches);

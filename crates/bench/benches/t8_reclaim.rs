@@ -1,0 +1,80 @@
+//! **T8 (bench)** — reclamation cost: update batches on the EFRB tree
+//! with the collector running freely vs. with a stalled guard pinning the
+//! epoch (garbage accumulates, no frees), plus the raw retire/free cost
+//! of the two substrates on a stack-shaped workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nbbst_core::NbBst;
+use nbbst_dictionary::ConcurrentMap;
+use nbbst_reclaim::hazard::Domain;
+use std::time::{Duration, Instant};
+
+fn churn(tree: &NbBst<u64, u64>, ops: u64) {
+    let mut x = 1u64;
+    for _ in 0..ops {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let k = x % 1024;
+        if x & 1 == 0 {
+            tree.insert(k, k);
+        } else {
+            tree.remove(&k);
+        }
+    }
+}
+
+fn t8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("T8_reclamation");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    const OPS: u64 = 50_000;
+
+    group.throughput(criterion::Throughput::Elements(OPS));
+    group.bench_function("ebr_reclaiming", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let tree: NbBst<u64, u64> = NbBst::new();
+                let start = Instant::now();
+                churn(&tree, OPS);
+                total += start.elapsed();
+            }
+            total
+        });
+    });
+    group.bench_function("ebr_stalled_guard", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let tree: NbBst<u64, u64> = NbBst::new();
+                let handle = tree.collector().register();
+                let _guard = handle.pin(); // blocks all frees for the batch
+                let start = Instant::now();
+                churn(&tree, OPS);
+                total += start.elapsed();
+            }
+            total
+        });
+    });
+    // Raw substrate comparison: allocate-retire cycles.
+    group.bench_function("substrate_ebr_retire", |b| {
+        let collector = nbbst_reclaim::Collector::new();
+        b.iter(|| {
+            let guard = collector.pin();
+            let a = nbbst_reclaim::Atomic::new(0u64);
+            let s = a.load(std::sync::atomic::Ordering::SeqCst, &guard);
+            unsafe { guard.defer_destroy(s) };
+        });
+    });
+    group.bench_function("substrate_hp_retire", |b| {
+        let domain = Domain::new();
+        b.iter(|| {
+            let p = Box::into_raw(Box::new(0u64));
+            unsafe { domain.retire(p) };
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, t8);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! **T9 (bench)** — update-only batches under shrinking key ranges: the
+//! cost of contention (helping, retries, CAS failures) in time units.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbbst_harness::{prefill, run_ops, OpMix, WorkloadSpec};
+use std::time::Duration;
+
+fn t9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("T9_contention");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    const THREADS: usize = 4;
+    const OPS_PER_THREAD: u64 = 15_000;
+
+    for exp in [2u32, 6, 10, 14] {
+        let spec = WorkloadSpec {
+            mix: OpMix::UPDATE_ONLY,
+            ..WorkloadSpec::read_heavy(1 << exp)
+        };
+        group.throughput(criterion::Throughput::Elements(
+            OPS_PER_THREAD * THREADS as u64,
+        ));
+        group.bench_function(BenchmarkId::new("nbbst_update_only", format!("2^{exp}")), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let map = (nbbst_bench::scalable_structures()[0].1)();
+                    prefill(&*map, &spec);
+                    let r = run_ops(&*map, &spec, THREADS, OPS_PER_THREAD);
+                    total += r.elapsed;
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, t9);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! **T3** — read-only scaling: "Find operations only perform reads of
+//! shared memory".
+//!
+//! With a 100% find workload, the EFRB tree performs no writes at all —
+//! no CAS, no lock word traffic — so adding readers should not slow
+//! existing ones. Reader-writer-locked baselines pay lock-word cache
+//! traffic per read. We report per-thread throughput (Mops/s per thread,
+//! which should stay flat for read-only-friendly structures).
+
+use nbbst_harness::{prefill, run_for, OpMix, Table, WorkloadSpec};
+
+fn main() {
+    let args = nbbst_bench::ExpArgs::parse(300);
+    nbbst_bench::banner(
+        "T3",
+        "100% Find scaling",
+        "abstract / Section 3 (Finds never write, never help)",
+    );
+    let spec = WorkloadSpec {
+        mix: OpMix::READ_ONLY,
+        ..WorkloadSpec::read_heavy(args.key_range.unwrap_or(1 << 16))
+    };
+    println!("workload: {spec}; {} ms per cell\n", args.duration_ms);
+
+    let threads = match args.threads {
+        Some(t) => vec![t],
+        None => nbbst_bench::thread_counts(),
+    };
+    let mut header: Vec<String> = vec!["structure".into()];
+    header.extend(threads.iter().map(|t| format!("{t}t (Mops/s)")));
+    let mut table = Table::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+
+    for (name, make) in nbbst_bench::scalable_structures() {
+        let mut row = vec![name.to_string()];
+        for &t in &threads {
+            let map = make();
+            prefill(&*map, &spec);
+            let r = run_for(&*map, &spec, t, args.duration());
+            row.push(format!("{:.3}", r.mops()));
+        }
+        table.row_owned(row);
+    }
+    println!("{table}");
+    println!("csv:\n{}", table.to_csv());
+}

@@ -1,0 +1,45 @@
+//! **T4** — operation-mix sweep at a fixed thread count.
+//!
+//! How the structures respond as the workload shifts from read-only to
+//! update-only: the EFRB tree's updates cost a small constant number of
+//! CAS steps near a leaf, so its curve should degrade gracefully, whereas
+//! coarse locking collapses once writers appear.
+
+use nbbst_harness::{prefill, run_for, validate_after_run, OpMix, Table, WorkloadSpec};
+
+fn main() {
+    let args = nbbst_bench::ExpArgs::parse(300);
+    nbbst_bench::banner("T4", "operation-mix sweep", "Section 3 (update cost: 1-2 flags)");
+    let threads = args.threads.unwrap_or(4);
+    let key_range = args.key_range.unwrap_or(1 << 16);
+    let mixes = [
+        ("100f/0i/0d", OpMix::READ_ONLY),
+        ("90f/5i/5d", OpMix::READ_HEAVY),
+        ("50f/25i/25d", OpMix::BALANCED),
+        ("0f/50i/50d", OpMix::UPDATE_ONLY),
+    ];
+    println!("threads={threads} key_range={key_range}; {} ms per cell\n", args.duration_ms);
+
+    let mut header: Vec<String> = vec!["structure".into()];
+    header.extend(mixes.iter().map(|(n, _)| format!("{n} (Mops/s)")));
+    let mut table = Table::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+
+    for (name, make) in nbbst_bench::scalable_structures() {
+        let mut row = vec![name.to_string()];
+        for (_, mix) in mixes {
+            let spec = WorkloadSpec {
+                mix,
+                ..WorkloadSpec::read_heavy(key_range)
+            };
+            let map = make();
+            prefill(&*map, &spec);
+            let r = run_for(&*map, &spec, threads, args.duration());
+            validate_after_run(&*map, &spec, &r)
+                .unwrap_or_else(|e| panic!("{name} corrupted on mix {mix}: {e}"));
+            row.push(format!("{:.3}", r.mops()));
+        }
+        table.row_owned(row);
+    }
+    println!("{table}");
+    println!("csv:\n{}", table.to_csv());
+}

@@ -1,0 +1,45 @@
+//! **T1** — throughput vs. thread count, EFRB tree vs. baselines.
+//!
+//! The paper's headline qualitative claim: a non-blocking tree whose
+//! updates "do not interfere with one another" keeps its throughput as
+//! concurrency grows, while coarse locking serializes and fine-grained
+//! locking pays blocking costs — especially once threads are preempted
+//! while holding locks (the oversubscribed right edge of the sweep).
+
+use nbbst_harness::{prefill, run_for, validate_after_run, Table, WorkloadSpec};
+
+fn main() {
+    let args = nbbst_bench::ExpArgs::parse(300);
+    nbbst_bench::banner(
+        "T1",
+        "throughput scaling, 90/5/5 mix",
+        "Section 1/3 (concurrent non-interfering updates)",
+    );
+    let key_range = args.key_range.unwrap_or(1 << 16);
+    let spec = WorkloadSpec::read_heavy(key_range);
+    println!("workload: {spec}; {} ms per cell\n", args.duration_ms);
+
+    let threads = match args.threads {
+        Some(t) => vec![t],
+        None => nbbst_bench::thread_counts(),
+    };
+
+    let mut header: Vec<String> = vec!["structure".into()];
+    header.extend(threads.iter().map(|t| format!("{t}t (Mops/s)")));
+    let mut table = Table::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+
+    for (name, make) in nbbst_bench::scalable_structures() {
+        let mut row: Vec<String> = vec![name.to_string()];
+        for &t in &threads {
+            let map = make();
+            prefill(&*map, &spec);
+            let r = run_for(&*map, &spec, t, args.duration());
+            validate_after_run(&*map, &spec, &r)
+                .unwrap_or_else(|e| panic!("{name} corrupted at {t} threads: {e}"));
+            row.push(format!("{:.3}", r.mops()));
+        }
+        table.row_owned(row);
+    }
+    println!("{table}");
+    println!("csv:\n{}", table.to_csv());
+}

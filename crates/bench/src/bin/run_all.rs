@@ -1,0 +1,76 @@
+//! Runs the complete experiment suite (F1–F6, T1–T10) in order and writes
+//! one combined transcript — the single-command reproduction driver for
+//! EXPERIMENTS.md.
+//!
+//! ```bash
+//! cargo run --release -p nbbst-bench --bin run_all            # default budget
+//! cargo run --release -p nbbst-bench --bin run_all duration_ms=1000
+//! ```
+//!
+//! The transcript is written to `results/experiments.txt` (relative to the
+//! working directory) and echoed to stdout.
+
+use std::io::Write;
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "fig1_fig2_shapes",
+    "fig3_races",
+    "fig4_state_machine",
+    "fig5_snapshot",
+    "fig6_sentinels",
+    "exp_scalability",
+    "exp_disjoint",
+    "exp_find_scaling",
+    "exp_op_mix",
+    "exp_size_sweep",
+    "exp_crash_tolerance",
+    "exp_find_starvation",
+    "exp_reclaim",
+    "exp_helping",
+    "exp_latency",
+    "exp_linearize",
+];
+
+fn main() {
+    let passthrough: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    let mut transcript = String::new();
+    let mut failures = Vec::new();
+
+    for name in EXPERIMENTS {
+        println!("=== running {name} ===");
+        let bin = exe_dir.join(name);
+        let output = Command::new(&bin)
+            .args(&passthrough)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", bin.display()));
+        transcript.push_str(&format!("### {name}\n"));
+        transcript.push_str(&String::from_utf8_lossy(&output.stdout));
+        if !output.stderr.is_empty() {
+            transcript.push_str("--- stderr ---\n");
+            transcript.push_str(&String::from_utf8_lossy(&output.stderr));
+        }
+        transcript.push('\n');
+        if !output.status.success() {
+            failures.push(*name);
+            println!("!!! {name} FAILED ({})", output.status);
+        }
+    }
+
+    let mut f = std::fs::File::create("results/experiments.txt").expect("open transcript");
+    f.write_all(transcript.as_bytes()).expect("write transcript");
+    println!("\ntranscript written to results/experiments.txt ({} bytes)", transcript.len());
+    if failures.is_empty() {
+        println!("all {} experiments completed successfully", EXPERIMENTS.len());
+    } else {
+        println!("FAILED experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,134 @@
+//! Long-running soak test: continuous mixed load with periodic crash
+//! injection, cleaning searches and validation sweeps, for as long as you
+//! let it run.
+//!
+//! ```bash
+//! cargo run --release -p nbbst-bench --bin soak                    # 10 s
+//! cargo run --release -p nbbst-bench --bin soak duration_ms=600000 # 10 min
+//! ```
+//!
+//! Exits non-zero at the first invariant/identity/accounting violation.
+
+use nbbst_core::raw::{DeleteSearch, MarkOutcome, RawDelete, RawInsert};
+use nbbst_core::NbBst;
+use nbbst_dictionary::ConcurrentMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+const RANGE: u64 = 1 << 10;
+
+fn main() {
+    let args = nbbst_bench::ExpArgs::parse(10_000);
+    nbbst_bench::banner("SOAK", "continuous chaos soak", "whole-paper torture");
+    let threads = args.threads.unwrap_or(6);
+    let deadline = Instant::now() + args.duration();
+
+    let mut cycle = 0u64;
+    let total_ops = AtomicU64::new(0);
+    while Instant::now() < deadline {
+        cycle += 1;
+        let tree: NbBst<u64, u64> = NbBst::with_stats();
+        for k in (0..RANGE).step_by(2) {
+            tree.insert(k, k);
+        }
+
+        // Crash a handful of operations mid-circuit.
+        let mut corpses = 0;
+        for i in 0..6u64 {
+            match i % 3 {
+                0 => {
+                    let mut ins = RawInsert::new(&tree, RANGE + i, 0);
+                    if ins.search().is_ready() && ins.flag() {
+                        corpses += 1;
+                        ins.abandon();
+                    }
+                }
+                1 => {
+                    let mut del = RawDelete::new(&tree, (i * 97) % RANGE);
+                    if del.search() == DeleteSearch::Ready && del.flag() {
+                        corpses += 1;
+                        del.abandon();
+                    }
+                }
+                _ => {
+                    let mut del = RawDelete::new(&tree, (i * 131) % RANGE);
+                    if del.search() == DeleteSearch::Ready
+                        && del.flag()
+                        && del.mark() == MarkOutcome::Marked
+                    {
+                        corpses += 1;
+                        del.abandon();
+                    }
+                }
+            }
+        }
+
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for tid in 0..threads as u64 {
+                let tree = &tree;
+                let stop = &stop;
+                let total_ops = &total_ops;
+                s.spawn(move || {
+                    let mut x = cycle * 1_000 + tid + 1;
+                    let mut ops = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        for _ in 0..256 {
+                            x ^= x << 13;
+                            x ^= x >> 7;
+                            x ^= x << 17;
+                            let k = x % (RANGE * 2);
+                            match x % 5 {
+                                0 | 3 => {
+                                    tree.insert(k, k);
+                                }
+                                1 => {
+                                    tree.remove(&k);
+                                }
+                                2 => {
+                                    tree.contains(&k);
+                                }
+                                _ => {
+                                    tree.contains_with_cleanup(&k);
+                                }
+                            }
+                            ops += 1;
+                        }
+                    }
+                    total_ops.fetch_add(ops, Ordering::Relaxed);
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(300));
+            stop.store(true, Ordering::Relaxed);
+        });
+
+        // Validation sweep.
+        if let Err(e) = tree.check_invariants_allowing(true) {
+            eprintln!("cycle {cycle}: INVARIANT VIOLATION: {e}");
+            std::process::exit(1);
+        }
+        if let Err(e) = tree.stats().expect("stats").check_figure4_allowing_abandoned() {
+            eprintln!("cycle {cycle}: FIGURE-4 VIOLATION: {e}");
+            std::process::exit(1);
+        }
+        let snapshot = tree.keys_snapshot();
+        let observed = (0..RANGE * 2).filter(|k| tree.contains(k)).count();
+        if snapshot.len() != observed {
+            eprintln!(
+                "cycle {cycle}: MEMBERSHIP MISMATCH: snapshot {} vs contains {}",
+                snapshot.len(),
+                observed
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "cycle {cycle}: ok ({corpses} corpses, {} keys, {} total ops so far)",
+            snapshot.len(),
+            total_ops.load(Ordering::Relaxed)
+        );
+    }
+    println!(
+        "SOAK PASSED: {cycle} cycles, {} operations, zero violations",
+        total_ops.load(Ordering::Relaxed)
+    );
+}

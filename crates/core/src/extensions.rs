@@ -1,0 +1,313 @@
+//! API extensions beyond the paper's three operations.
+//!
+//! The paper notes the dictionary "can also store auxiliary data with
+//! each key"; these conveniences make that practical in Rust without
+//! changing the algorithm: zero-clone guarded reads, bounded range
+//! snapshots (using the BST order), min/max queries, and the standard
+//! collection traits.
+//!
+//! All snapshot-style views are **weakly consistent** (exact at
+//! quiescence), like the views in [`crate::view`]. Point reads
+//! ([`NbBst::get_with`], [`NbBst::min_key`], [`NbBst::max_key`]) are
+//! linearizable: they are `Find`s (a min/max query is a `Search` steered
+//! hard left/right, reaching a leaf that was on its search path).
+
+use crate::node::Node;
+use crate::tree::NbBst;
+use nbbst_dictionary::SentinelKey;
+use nbbst_reclaim::Guard;
+use std::ops::Bound;
+
+impl<K, V> NbBst<K, V>
+where
+    K: Ord + Clone,
+    V: Clone,
+{
+    /// Applies `f` to the value stored under `key` without cloning it.
+    ///
+    /// The reference is valid only inside `f` (it is protected by an
+    /// epoch pin for the duration of the call).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nbbst_core::NbBst;
+    ///
+    /// let t: NbBst<u64, String> = NbBst::new();
+    /// t.insert_entry(1, "payload".to_string()).unwrap();
+    /// let len = t.get_with(&1, |v| v.len());
+    /// assert_eq!(len, Some(7));
+    /// ```
+    pub fn get_with<R>(&self, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
+        let guard = self.pin();
+        let s = self.search(key, &guard);
+        // SAFETY: leaf protected by `guard`.
+        let l_ref = unsafe { s.l.deref() };
+        if l_ref.key.as_key() == Some(key) {
+            l_ref.value.as_ref().map(f)
+        } else {
+            None
+        }
+    }
+
+    /// The smallest real key (a leftmost `Search`). `None` when empty.
+    pub fn min_key(&self) -> Option<K> {
+        self.extreme_key(true)
+    }
+
+    /// The largest real key (a rightmost `Search` within the non-sentinel
+    /// region). `None` when empty.
+    pub fn max_key(&self) -> Option<K> {
+        self.extreme_key(false)
+    }
+
+    fn extreme_key(&self, min: bool) -> Option<K> {
+        let guard = self.pin();
+        let mut cur: &Node<K, V> = self.root();
+        loop {
+            if cur.is_leaf {
+                // A sentinel leaf here means the dictionary is empty on
+                // this side (min and max both land on `[∞1]` then).
+                return cur.key.as_key().cloned();
+            }
+            // Min: always left. Max: right under real routing keys, but
+            // left under sentinel routing keys — all real content is
+            // strictly less than the sentinels.
+            let go_left = min || cur.key.is_sentinel();
+            // SAFETY: reachable child under pin.
+            cur = unsafe { cur.load_child(go_left, &guard).deref() };
+        }
+    }
+
+    /// All `(key, value)` clones with `lo <= key < hi` style bounds, in
+    /// order, pruning subtrees outside the range. Weakly consistent.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nbbst_core::NbBst;
+    /// use std::ops::Bound;
+    ///
+    /// let t: NbBst<u64, u64> = NbBst::new();
+    /// for k in [1u64, 3, 5, 7, 9] {
+    ///     t.insert_entry(k, k * 10).unwrap();
+    /// }
+    /// let mid = t.range_snapshot(Bound::Included(&3), Bound::Excluded(&9));
+    /// assert_eq!(mid, vec![(3, 30), (5, 50), (7, 70)]);
+    /// ```
+    pub fn range_snapshot(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<(K, V)> {
+        fn in_lo<K: Ord>(k: &K, lo: Bound<&K>) -> bool {
+            match lo {
+                Bound::Unbounded => true,
+                Bound::Included(b) => k >= b,
+                Bound::Excluded(b) => k > b,
+            }
+        }
+        fn in_hi<K: Ord>(k: &K, hi: Bound<&K>) -> bool {
+            match hi {
+                Bound::Unbounded => true,
+                Bound::Included(b) => k <= b,
+                Bound::Excluded(b) => k < b,
+            }
+        }
+        fn go<K: Ord + Clone, V: Clone>(
+            node: &Node<K, V>,
+            lo: Bound<&K>,
+            hi: Bound<&K>,
+            guard: &Guard,
+            out: &mut Vec<(K, V)>,
+        ) {
+            if node.is_leaf {
+                if let SentinelKey::Key(k) = &node.key {
+                    if in_lo(k, lo) && in_hi(k, hi) {
+                        let v = node.value.as_ref().expect("real leaf has value");
+                        out.push((k.clone(), v.clone()));
+                    }
+                }
+                return;
+            }
+            // BST property: left subtree < node.key <= right subtree.
+            // Prune: skip left if everything there is below `lo`; skip
+            // right if node.key is already above `hi`.
+            let visit_left = match (&node.key, lo) {
+                (SentinelKey::Key(nk), Bound::Included(b)) => nk > b,
+                (SentinelKey::Key(nk), Bound::Excluded(b)) => nk > b,
+                _ => true, // sentinel routing keys or unbounded: cannot prune
+            };
+            let visit_right = match (&node.key, hi) {
+                (SentinelKey::Key(nk), Bound::Included(b)) => nk <= b,
+                (SentinelKey::Key(nk), Bound::Excluded(b)) => nk <= b, // keys >= nk may still be < b
+                _ => true,
+            };
+            if visit_left {
+                // SAFETY: reachable child under pin.
+                let l = unsafe { node.load_child(true, guard).deref() };
+                go(l, lo, hi, guard, out);
+            }
+            if visit_right {
+                let r = unsafe { node.load_child(false, guard).deref() };
+                go(r, lo, hi, guard, out);
+            }
+        }
+        let guard = self.pin();
+        let mut out = Vec::new();
+        go(self.root(), lo, hi, &guard, &mut out);
+        out
+    }
+
+    /// Bulk-inserts from an iterator, skipping duplicates; returns how
+    /// many keys were newly inserted.
+    pub fn insert_all<I: IntoIterator<Item = (K, V)>>(&self, iter: I) -> usize {
+        iter.into_iter()
+            .map(|(k, v)| usize::from(self.insert_entry(k, v).is_ok()))
+            .sum()
+    }
+}
+
+impl<K, V> FromIterator<(K, V)> for NbBst<K, V>
+where
+    K: Ord + Clone,
+    V: Clone,
+{
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let tree = NbBst::new();
+        tree.insert_all(iter);
+        tree
+    }
+}
+
+impl<K, V> Extend<(K, V)> for NbBst<K, V>
+where
+    K: Ord + Clone,
+    V: Clone,
+{
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        self.insert_all(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree(keys: &[u64]) -> NbBst<u64, u64> {
+        keys.iter().map(|&k| (k, k * 10)).collect()
+    }
+
+    #[test]
+    fn get_with_avoids_clone() {
+        let t: NbBst<u64, Vec<u64>> = NbBst::new();
+        t.insert_entry(1, vec![1, 2, 3]).unwrap();
+        assert_eq!(t.get_with(&1, |v| v.iter().sum::<u64>()), Some(6));
+        assert_eq!(t.get_with(&2, |v| v.len()), None);
+    }
+
+    #[test]
+    fn min_max_on_various_sizes() {
+        let t = tree(&[]);
+        assert_eq!(t.min_key(), None);
+        assert_eq!(t.max_key(), None);
+
+        let t = tree(&[5]);
+        assert_eq!(t.min_key(), Some(5));
+        assert_eq!(t.max_key(), Some(5));
+
+        let t = tree(&[9, 2, 7, 4, 11, 3]);
+        assert_eq!(t.min_key(), Some(2));
+        assert_eq!(t.max_key(), Some(11));
+
+        t.remove_key(&11);
+        t.remove_key(&2);
+        assert_eq!(t.min_key(), Some(3));
+        assert_eq!(t.max_key(), Some(9));
+    }
+
+    #[test]
+    fn range_snapshot_bounds() {
+        let t = tree(&[1, 3, 5, 7, 9]);
+        let all = t.range_snapshot(Bound::Unbounded, Bound::Unbounded);
+        assert_eq!(all.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![1, 3, 5, 7, 9]);
+
+        let inc = t.range_snapshot(Bound::Included(&3), Bound::Included(&7));
+        assert_eq!(inc, vec![(3, 30), (5, 50), (7, 70)]);
+
+        let exc = t.range_snapshot(Bound::Excluded(&3), Bound::Excluded(&7));
+        assert_eq!(exc, vec![(5, 50)]);
+
+        let empty = t.range_snapshot(Bound::Included(&4), Bound::Excluded(&5));
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn range_matches_btreemap_on_random_data() {
+        use std::collections::BTreeMap;
+        let mut reference = BTreeMap::new();
+        let t: NbBst<u64, u64> = NbBst::new();
+        let mut x = 42u64;
+        for _ in 0..300 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let k = x % 128;
+            t.insert_entry(k, k).ok();
+            reference.entry(k).or_insert(k);
+        }
+        // (BTreeMap::range panics on inverted bounds; our snapshot just
+        // returns empty — checked separately below.)
+        assert!(t
+            .range_snapshot(Bound::Included(&100), Bound::Excluded(&10))
+            .is_empty());
+        for (lo, hi) in [(0u64, 128u64), (10, 20), (64, 64)] {
+            let got: Vec<u64> = t
+                .range_snapshot(Bound::Included(&lo), Bound::Excluded(&hi))
+                .into_iter()
+                .map(|(k, _)| k)
+                .collect();
+            let want: Vec<u64> = reference.range(lo..hi).map(|(k, _)| *k).collect();
+            assert_eq!(got, want, "range {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut t: NbBst<u64, u64> = [(2u64, 20u64), (1, 10), (2, 99)].into_iter().collect();
+        assert_eq!(t.len_slow(), 2);
+        assert_eq!(t.get_cloned(&2), Some(20), "first write wins");
+        t.extend([(3, 30), (1, 11)]);
+        assert_eq!(t.len_slow(), 3);
+        assert_eq!(t.get_cloned(&1), Some(10));
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_all_counts_new_keys() {
+        let t: NbBst<u64, u64> = NbBst::new();
+        assert_eq!(t.insert_all([(1, 1), (2, 2), (1, 9)]), 2);
+    }
+
+    #[test]
+    fn range_is_safe_during_concurrent_updates() {
+        let t = tree(&(0..256).collect::<Vec<_>>());
+        std::thread::scope(|s| {
+            let writer = s.spawn(|| {
+                for i in 0..2_000u64 {
+                    let k = (i * 37) % 256;
+                    if i % 2 == 0 {
+                        t.remove_key(&k);
+                    } else {
+                        t.insert_entry(k, k).ok();
+                    }
+                }
+            });
+            for _ in 0..50 {
+                let r = t.range_snapshot(Bound::Included(&64), Bound::Excluded(&192));
+                // Weakly consistent but always well-formed: sorted,
+                // deduplicated, within bounds.
+                assert!(r.windows(2).all(|w| w[0].0 < w[1].0));
+                assert!(r.iter().all(|(k, _)| (64..192).contains(k)));
+            }
+            writer.join().unwrap();
+        });
+        t.check_invariants().unwrap();
+    }
+}

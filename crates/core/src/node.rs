@@ -1,0 +1,294 @@
+//! Tree nodes and Info records (Figure 7 of the paper).
+//!
+//! An internal node carries a routing key, two atomic child pointers, and
+//! the *update field*: a single CAS word packing a 2-bit [`State`] with a
+//! pointer to an [`Info`] record. A leaf carries a key and (for real keys)
+//! a value. The paper uses two node types; we use one struct with an
+//! immutable `is_leaf` discriminant, which keeps the atomics simple (child
+//! pointers can point at either kind) at the cost of three unused words per
+//! leaf.
+
+use crate::state::State;
+use nbbst_dictionary::SentinelKey;
+use nbbst_reclaim::{Atomic, Guard, Shared};
+use std::fmt;
+use std::sync::atomic::Ordering;
+
+/// All CAS words in the tree use sequentially-consistent orderings; the
+/// paper's proof reasons under sequential consistency and the hot-path cost
+/// on x86/ARM is dominated by the RMWs themselves.
+pub(crate) const ORD: Ordering = Ordering::SeqCst;
+
+/// A node of the EFRB tree (the paper's `Internal` and `Leaf` types fused;
+/// Figure 7 lines 5–13).
+pub struct Node<K, V> {
+    /// Immutable key (real or sentinel); set at allocation, never changed.
+    pub(crate) key: SentinelKey<K>,
+    /// Auxiliary data; `Some` only for leaves holding real keys.
+    pub(crate) value: Option<V>,
+    /// Immutable discriminant.
+    pub(crate) is_leaf: bool,
+    /// The update field: `state` in the 2 tag bits, Info pointer above
+    /// (Figure 7 lines 1–4: "stored in one CAS word").
+    pub(crate) update: Atomic<Info<K, V>>,
+    /// Left child (internal nodes only; never null once published).
+    pub(crate) left: Atomic<Node<K, V>>,
+    /// Right child (internal nodes only; never null once published).
+    pub(crate) right: Atomic<Node<K, V>>,
+}
+
+// SAFETY: nodes are immutable except through their atomic fields; sharing
+// them across threads is exactly the algorithm's design, provided keys and
+// values can be shared.
+unsafe impl<K: Send + Sync, V: Send + Sync> Send for Node<K, V> {}
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for Node<K, V> {}
+
+impl<K, V> Node<K, V> {
+    /// A leaf node; `value` is `None` for sentinel leaves.
+    pub(crate) fn leaf(key: SentinelKey<K>, value: Option<V>) -> Node<K, V> {
+        Node {
+            key,
+            value,
+            is_leaf: true,
+            update: Atomic::null(),
+            left: Atomic::null(),
+            right: Atomic::null(),
+        }
+    }
+
+    /// An internal node with the given children (raw pointers to already-
+    /// allocated nodes; ownership conceptually transfers to the tree once
+    /// this node is published).
+    pub(crate) fn internal(
+        key: SentinelKey<K>,
+        left: *const Node<K, V>,
+        right: *const Node<K, V>,
+    ) -> Node<K, V> {
+        let node = Node {
+            key,
+            value: None,
+            is_leaf: false,
+            update: Atomic::null(),
+            left: Atomic::null(),
+            right: Atomic::null(),
+        };
+        // SAFETY: plain initialization stores before publication.
+        unsafe {
+            node.left.store(Shared::from_data(left as usize), Ordering::Relaxed);
+            node.right
+                .store(Shared::from_data(right as usize), Ordering::Relaxed);
+        }
+        node
+    }
+
+    /// Loads this internal node's update word.
+    pub(crate) fn load_update<'g>(&self, guard: &'g Guard) -> UpdateRef<'g, K, V> {
+        debug_assert!(!self.is_leaf, "leaves have no update field");
+        self.update.load(ORD, guard)
+    }
+
+    /// Loads a child pointer. Internal nodes' children are never null.
+    pub(crate) fn load_child<'g>(&self, left: bool, guard: &'g Guard) -> Shared<'g, Node<K, V>> {
+        debug_assert!(!self.is_leaf, "leaves have no children");
+        if left {
+            self.left.load(ORD, guard)
+        } else {
+            self.right.load(ORD, guard)
+        }
+    }
+}
+
+impl<K: fmt::Debug, V> fmt::Debug for Node<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct(if self.is_leaf { "Leaf" } else { "Internal" })
+            .field("key", &self.key)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A loaded update word: an Info pointer (possibly null) plus a [`State`]
+/// in the tag bits.
+pub(crate) type UpdateRef<'g, K, V> = Shared<'g, Info<K, V>>;
+
+/// Extension helpers for update words.
+pub(crate) trait UpdateWordExt {
+    /// The state encoded in the tag bits.
+    fn state(&self) -> State;
+}
+
+impl<K, V> UpdateWordExt for UpdateRef<'_, K, V> {
+    fn state(&self) -> State {
+        State::from_tag(self.tag())
+    }
+}
+
+/// An Info record: "enough information for other processes to help complete
+/// the operation" (Section 3). Published by flag CAS steps; every flag
+/// stores a pointer to a *fresh* record.
+pub enum Info<K, V> {
+    /// Published by an `iflag` CAS (Figure 7 lines 14–16).
+    Insert(IInfo<K, V>),
+    /// Published by a `dflag` CAS (Figure 7 lines 17–19).
+    Delete(DInfo<K, V>),
+}
+
+// SAFETY: Info records hold raw pointers into the tree; they are shared
+// between threads by design, protected by the epoch collector.
+unsafe impl<K: Send + Sync, V: Send + Sync> Send for Info<K, V> {}
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for Info<K, V> {}
+
+impl<K, V> Info<K, V> {
+    /// Views this record as an `IInfo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is a `DInfo`; callers dispatch on the state tag,
+    /// which the proof shows always agrees with the record type.
+    pub(crate) fn as_insert(&self) -> &IInfo<K, V> {
+        match self {
+            Info::Insert(i) => i,
+            Info::Delete(_) => panic!("IFlag state with DInfo record"),
+        }
+    }
+
+    /// Views this record as a `DInfo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is an `IInfo`.
+    pub(crate) fn as_delete(&self) -> &DInfo<K, V> {
+        match self {
+            Info::Delete(d) => d,
+            Info::Insert(_) => panic!("DFlag/Mark state with IInfo record"),
+        }
+    }
+}
+
+impl<K, V> fmt::Debug for Info<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Info::Insert(_) => f.write_str("Info::Insert"),
+            Info::Delete(_) => f.write_str("Info::Delete"),
+        }
+    }
+}
+
+/// What an insertion's helpers need (Figure 7 lines 14–16): the parent to
+/// unflag, the leaf to replace, and the replacement subtree.
+pub struct IInfo<K, V> {
+    /// The flagged parent whose child pointer changes.
+    pub(crate) p: *const Node<K, V>,
+    /// The leaf being replaced.
+    pub(crate) l: *const Node<K, V>,
+    /// The new three-node subtree's root.
+    pub(crate) new_internal: *const Node<K, V>,
+}
+
+/// What a deletion's helpers need (Figure 7 lines 17–19): the grandparent
+/// (flagged), parent (to mark), leaf (to delete), and the parent's update
+/// word as seen by the deleter's `Search` (`pupdate`), used as the expected
+/// value of the mark CAS.
+pub struct DInfo<K, V> {
+    /// The flagged grandparent whose child pointer changes.
+    pub(crate) gp: *const Node<K, V>,
+    /// The parent, to be marked and spliced out.
+    pub(crate) p: *const Node<K, V>,
+    /// The leaf being deleted.
+    pub(crate) l: *const Node<K, V>,
+    /// Copy of `p`'s update word (pointer bits + state tag) observed by the
+    /// deleter's `Search`; the paper's `pupdate` field.
+    pub(crate) pupdate: usize,
+}
+
+impl<K, V> DInfo<K, V> {
+    /// Reconstructs the stored `pupdate` word as a `Shared` usable as the
+    /// expected value of the mark CAS.
+    ///
+    /// Sound to *compare* under any guard; only dereferenced (via `Help`)
+    /// by code that re-read the live word.
+    pub(crate) fn pupdate_word<'g>(&self, _guard: &'g Guard) -> UpdateRef<'g, K, V> {
+        // SAFETY: the word was produced by `Shared::into_data` of an update
+        // word; we use it as a CAS comparand.
+        unsafe { Shared::from_data(self.pupdate) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbbst_reclaim::{Collector, Owned};
+
+    #[test]
+    fn info_alignment_leaves_room_for_state_tags() {
+        // Two tag bits require 4-byte alignment; Info holds pointers, so it
+        // is at least machine-word aligned.
+        assert!(std::mem::align_of::<Info<u64, u64>>() >= 4);
+        assert!(nbbst_reclaim::low_bits::<Info<u64, u64>>() >= 3);
+    }
+
+    #[test]
+    fn leaf_constructor_sets_discriminant() {
+        let n: Node<u64, u64> = Node::leaf(SentinelKey::Key(5), Some(50));
+        assert!(n.is_leaf);
+        assert_eq!(n.key, SentinelKey::Key(5));
+        assert_eq!(n.value, Some(50));
+    }
+
+    #[test]
+    fn internal_constructor_links_children() {
+        let collector = Collector::new();
+        let guard = collector.pin();
+        let l = Box::into_raw(Box::new(Node::<u64, u64>::leaf(SentinelKey::Inf1, None)));
+        let r = Box::into_raw(Box::new(Node::<u64, u64>::leaf(SentinelKey::Inf2, None)));
+        let n = Node::internal(SentinelKey::Inf2, l, r);
+        assert!(!n.is_leaf);
+        assert_eq!(n.load_child(true, &guard).as_raw(), l as *const _);
+        assert_eq!(n.load_child(false, &guard).as_raw(), r as *const _);
+        assert_eq!(n.load_update(&guard).state(), State::Clean);
+        assert!(n.load_update(&guard).is_null());
+        drop(guard);
+        unsafe {
+            drop(Box::from_raw(l));
+            drop(Box::from_raw(r));
+        }
+    }
+
+    #[test]
+    fn update_word_state_roundtrips_through_tags() {
+        let collector = Collector::new();
+        let guard = collector.pin();
+        let n: Node<u64, u64> = Node::internal(
+            SentinelKey::Inf2,
+            std::ptr::null(),
+            std::ptr::null(),
+        );
+        let clean = n.load_update(&guard);
+        assert_eq!(clean.state(), State::Clean);
+
+        let info = Owned::new(Info::<u64, u64>::Insert(IInfo {
+            p: std::ptr::null(),
+            l: std::ptr::null(),
+            new_internal: std::ptr::null(),
+        }))
+        .with_tag(State::IFlag.tag());
+        n.update
+            .compare_exchange(clean, info, ORD, ORD, &guard)
+            .expect("flag an unflagged node");
+        let flagged = n.load_update(&guard);
+        assert_eq!(flagged.state(), State::IFlag);
+        assert!(!flagged.is_null());
+        unsafe { guard.defer_destroy(flagged) };
+    }
+
+    #[test]
+    #[should_panic(expected = "IFlag state with DInfo record")]
+    fn as_insert_rejects_dinfo() {
+        let d: Info<u64, u64> = Info::Delete(DInfo {
+            gp: std::ptr::null(),
+            p: std::ptr::null(),
+            l: std::ptr::null(),
+            pupdate: 0,
+        });
+        let _ = d.as_insert();
+    }
+}

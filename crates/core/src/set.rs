@@ -1,0 +1,165 @@
+//! `NbSet` — the paper's dictionary as a pure ordered *set*.
+//!
+//! The paper's abstract data type is a set of keys ("a dictionary
+//! maintains a set of keys drawn from a totally ordered universe"), with
+//! auxiliary values as an optional add-on. [`NbSet`] is that set view:
+//! a thin wrapper over [`NbBst<K, ()>`] with set-shaped method names.
+
+use crate::NbBst;
+use std::fmt;
+use std::ops::Bound;
+
+/// A lock-free ordered set (the paper's dictionary, value-free).
+///
+/// # Examples
+///
+/// ```
+/// use nbbst_core::NbSet;
+///
+/// let s: NbSet<u64> = NbSet::new();
+/// assert!(s.insert(3));
+/// assert!(s.insert(1));
+/// assert!(!s.insert(3));          // already present
+/// assert!(s.contains(&1));
+/// assert_eq!(s.min(), Some(1));
+/// assert!(s.remove(&1));
+/// assert_eq!(s.iter_snapshot(), vec![3]);
+/// ```
+pub struct NbSet<K> {
+    map: NbBst<K, ()>,
+}
+
+impl<K: Ord + Clone> NbSet<K> {
+    /// Creates an empty set.
+    pub fn new() -> NbSet<K> {
+        NbSet { map: NbBst::new() }
+    }
+
+    /// Adds `key`; returns `false` if it was already present.
+    pub fn insert(&self, key: K) -> bool {
+        self.map.insert_entry(key, ()).is_ok()
+    }
+
+    /// Removes `key`; returns `true` iff it was present.
+    pub fn remove(&self, key: &K) -> bool {
+        self.map.remove_key(key)
+    }
+
+    /// The paper's `Find(k)`.
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Smallest element, if any.
+    pub fn min(&self) -> Option<K> {
+        self.map.min_key()
+    }
+
+    /// Largest element, if any.
+    pub fn max(&self) -> Option<K> {
+        self.map.max_key()
+    }
+
+    /// In-order snapshot of the elements (weakly consistent; exact at
+    /// quiescence).
+    pub fn iter_snapshot(&self) -> Vec<K> {
+        self.map.keys_snapshot()
+    }
+
+    /// Elements within bounds, in order (weakly consistent).
+    pub fn range_snapshot(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<K> {
+        self.map
+            .range_snapshot(lo, hi)
+            .into_iter()
+            .map(|(k, ())| k)
+            .collect()
+    }
+
+    /// Element count by traversal (quiescent).
+    pub fn len_slow(&self) -> usize {
+        self.map.len_slow()
+    }
+
+    /// `true` iff empty (quiescent).
+    pub fn is_empty_slow(&self) -> bool {
+        self.len_slow() == 0
+    }
+
+    /// The underlying map, for advanced use (stats, invariants, raw ops).
+    pub fn as_map(&self) -> &NbBst<K, ()> {
+        &self.map
+    }
+}
+
+impl<K: Ord + Clone> Default for NbSet<K> {
+    fn default() -> Self {
+        NbSet::new()
+    }
+}
+
+impl<K: Ord + Clone> FromIterator<K> for NbSet<K> {
+    fn from_iter<I: IntoIterator<Item = K>>(iter: I) -> Self {
+        let set = NbSet::new();
+        for k in iter {
+            set.insert(k);
+        }
+        set
+    }
+}
+
+impl<K: Ord + Clone + fmt::Debug> fmt::Debug for NbSet<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter_snapshot()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_semantics() {
+        let s: NbSet<u64> = [3u64, 1, 4, 1, 5].into_iter().collect();
+        assert_eq!(s.iter_snapshot(), vec![1, 3, 4, 5]);
+        assert_eq!(s.len_slow(), 4);
+        assert!(s.remove(&4));
+        assert!(!s.remove(&4));
+        assert!(!s.is_empty_slow());
+        assert_eq!(s.min(), Some(1));
+        assert_eq!(s.max(), Some(5));
+    }
+
+    #[test]
+    fn range_view() {
+        let s: NbSet<u64> = (0..20).collect();
+        let mid = s.range_snapshot(Bound::Included(&5), Bound::Excluded(&10));
+        assert_eq!(mid, vec![5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn concurrent_set_union() {
+        let s: NbSet<u64> = NbSet::new();
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let s = &s;
+                scope.spawn(move || {
+                    // Overlapping ranges: duplicates must collapse.
+                    for k in (t * 100)..(t * 100 + 200) {
+                        s.insert(k % 500);
+                    }
+                });
+            }
+        });
+        let elems = s.iter_snapshot();
+        let mut dedup = elems.clone();
+        dedup.dedup();
+        assert_eq!(elems, dedup, "no duplicate elements");
+        s.as_map().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn debug_renders_as_set() {
+        let s: NbSet<u64> = [2u64, 1].into_iter().collect();
+        assert_eq!(format!("{s:?}"), "{1, 2}");
+    }
+}

@@ -1,0 +1,94 @@
+//! The four-valued `state` field of the paper's `Update` word.
+//!
+//! The paper packs `{Clean, IFlag, DFlag, Mark}` together with an Info
+//! pointer into a single CAS word (Section 3: "the two lowest-order bits of
+//! a pointer can be used to store the state"). We realize that with the
+//! tag bits of [`nbbst_reclaim::Shared`]: an update field is an
+//! `Atomic<Info<K, V>>` whose 2-bit tag is the [`State`].
+
+use std::fmt;
+
+/// The state half of an update word (Figure 7, lines 1–4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum State {
+    /// No operation holds this node; its child pointers may be flagged.
+    Clean,
+    /// An `Insert` has flagged this node and will change one of its child
+    /// pointers (an `IInfo` pointer accompanies the state).
+    IFlag,
+    /// A `Delete` has flagged this node (the grandparent of the leaf being
+    /// deleted); a `DInfo` pointer accompanies the state.
+    DFlag,
+    /// This node is permanently marked for deletion; its child pointers
+    /// will never change again.
+    Mark,
+}
+
+impl State {
+    /// The tag value stored in the low bits of the update word.
+    pub const fn tag(self) -> usize {
+        match self {
+            State::Clean => 0,
+            State::IFlag => 1,
+            State::DFlag => 2,
+            State::Mark => 3,
+        }
+    }
+
+    /// Decodes a 2-bit tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag > 3`; update words only ever carry 2 tag bits.
+    pub fn from_tag(tag: usize) -> State {
+        match tag {
+            0 => State::Clean,
+            1 => State::IFlag,
+            2 => State::DFlag,
+            3 => State::Mark,
+            _ => panic!("invalid state tag {tag}"),
+        }
+    }
+}
+
+impl fmt::Display for State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            State::Clean => "Clean",
+            State::IFlag => "IFlag",
+            State::DFlag => "DFlag",
+            State::Mark => "Mark",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_roundtrip() {
+        for s in [State::Clean, State::IFlag, State::DFlag, State::Mark] {
+            assert_eq!(State::from_tag(s.tag()), s);
+        }
+    }
+
+    #[test]
+    fn tags_fit_in_two_bits() {
+        for s in [State::Clean, State::IFlag, State::DFlag, State::Mark] {
+            assert!(s.tag() <= 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid state tag")]
+    fn invalid_tag_panics() {
+        State::from_tag(4);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(State::Clean.to_string(), "Clean");
+        assert_eq!(State::Mark.to_string(), "Mark");
+    }
+}

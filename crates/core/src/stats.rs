@@ -1,0 +1,336 @@
+//! Operation counters instrumenting every CAS type of Figure 4.
+//!
+//! The paper's Figure 4 is a state machine over `{Clean, IFlag, DFlag,
+//! Mark}` whose transitions are the seven CAS kinds (`iflag`, `ichild`,
+//! `iunflag`, `dflag`, `mark`, `dchild`/`dunflag`, `backtrack`). A
+//! [`TreeStats`] records how often each succeeds, plus helping and retry
+//! activity. [`StatsSnapshot::check_figure4`] verifies, at quiescence, the
+//! arithmetic identities the state machine implies — the executable
+//! reproduction of Figure 4.
+//!
+//! Counters are optional (see `NbBst::with_stats`) and use relaxed
+//! increments; they are for experiments, not for synchronization.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! stats_fields {
+    ($($(#[$doc:meta])* $name:ident),+ $(,)?) => {
+        /// Live counters attached to a tree (all `u64`, relaxed).
+        #[derive(Debug, Default)]
+        pub struct TreeStats {
+            $( $(#[$doc])* pub(crate) $name: AtomicU64, )+
+        }
+
+        /// A point-in-time copy of [`TreeStats`].
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        #[allow(missing_docs)]
+        pub struct StatsSnapshot {
+            $( $(#[$doc])* pub $name: u64, )+
+        }
+
+        impl TreeStats {
+            /// Copies all counters.
+            pub fn snapshot(&self) -> StatsSnapshot {
+                StatsSnapshot {
+                    $( $name: self.$name.load(Ordering::Relaxed), )+
+                }
+            }
+        }
+
+        impl fmt::Display for StatsSnapshot {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                $( writeln!(f, "{:<22} {:>12}", stringify!($name), self.$name)?; )+
+                Ok(())
+            }
+        }
+    };
+}
+
+stats_fields! {
+    /// Completed `Find` calls.
+    finds,
+    /// Completed `Insert` calls (either outcome).
+    inserts,
+    /// Completed `Delete` calls (either outcome).
+    deletes,
+    /// `Insert` calls that returned `true`.
+    inserts_true,
+    /// `Delete` calls that returned `true`.
+    deletes_true,
+    /// `Search` traversals performed (one per attempt).
+    searches,
+    /// Insert attempts abandoned and retried.
+    insert_retries,
+    /// Delete attempts abandoned and retried.
+    delete_retries,
+    /// iflag CAS attempts (line 56).
+    iflag_attempts,
+    /// Successful iflag CAS steps (Clean -> IFlag).
+    iflag_success,
+    /// Successful ichild CAS steps (lines 115/117 via HelpInsert).
+    ichild_success,
+    /// Successful iunflag CAS steps (IFlag -> Clean).
+    iunflag_success,
+    /// dflag CAS attempts (line 81).
+    dflag_attempts,
+    /// Successful dflag CAS steps (Clean -> DFlag).
+    dflag_success,
+    /// mark CAS attempts (line 91).
+    mark_attempts,
+    /// Successful mark CAS steps (Clean -> Mark on the parent).
+    mark_success,
+    /// Successful dchild CAS steps (line 105).
+    dchild_success,
+    /// Successful dunflag CAS steps (DFlag -> Clean, line 106).
+    dunflag_success,
+    /// Successful backtrack CAS steps (DFlag -> Clean, line 98).
+    backtrack_success,
+    /// Calls into the general `Help` routine (lines 107–112).
+    helps,
+    /// Calls into `HelpInsert` (own operation or helping).
+    help_insert_calls,
+    /// Calls into `HelpDelete`.
+    help_delete_calls,
+    /// Calls into `HelpMarked`.
+    help_marked_calls,
+    /// Nodes retired to the collector.
+    nodes_retired,
+    /// Info records retired to the collector.
+    infos_retired,
+}
+
+impl StatsSnapshot {
+    /// Verifies the Figure 4 state-machine identities at quiescence (no
+    /// operation in flight):
+    ///
+    /// * every insertion circuit runs `iflag → ichild → iunflag` exactly
+    ///   once each: the three counts are equal;
+    /// * every deletion circuit that leaves `DFlag` does so by exactly one
+    ///   of `mark` (continuing to `dchild`, `dunflag`) or `backtrack`:
+    ///   `dflag = mark + backtrack`, and `mark = dchild = dunflag`;
+    /// * successful updates linearize at their child CAS:
+    ///   `inserts_true = ichild` and `deletes_true = dchild`;
+    /// * a fresh flag is installed per circuit, never reused:
+    ///   successes never exceed attempts.
+    ///
+    /// # Errors
+    ///
+    /// Returns which identity failed.
+    pub fn check_figure4(&self) -> Result<(), String> {
+        self.check_figure4_inner(false)
+    }
+
+    /// [`StatsSnapshot::check_figure4`], but tolerating operations that
+    /// were deliberately *abandoned* mid-circuit (crash-injection tests):
+    /// a delete abandoned before its mark CAS is completed by helpers, so
+    /// its `dchild` has no matching `deletes_true`; the two
+    /// completed-operation identities therefore relax to `<=`.
+    ///
+    /// # Errors
+    ///
+    /// Returns which identity failed.
+    pub fn check_figure4_allowing_abandoned(&self) -> Result<(), String> {
+        self.check_figure4_inner(true)
+    }
+
+    fn check_figure4_inner(&self, allow_abandoned: bool) -> Result<(), String> {
+        let eq = |name: &str, a: u64, b: u64| {
+            if a == b {
+                Ok(())
+            } else {
+                Err(format!("figure-4 identity violated: {name}: {a} != {b}"))
+            }
+        };
+        let le = |name: &str, a: u64, b: u64| {
+            if a <= b {
+                Ok(())
+            } else {
+                Err(format!("figure-4 identity violated: {name}: {a} > {b}"))
+            }
+        };
+        if allow_abandoned {
+            // Crashed circuits may be stalled at any point, so each step of
+            // a circuit happens at most as often as the one before it; and
+            // completed-op counts trail their child CASes.
+            le("ichild <= iflag", self.ichild_success, self.iflag_success)?;
+            le("iunflag <= ichild", self.iunflag_success, self.ichild_success)?;
+            le(
+                "mark + backtrack <= dflag",
+                self.mark_success + self.backtrack_success,
+                self.dflag_success,
+            )?;
+            le("dchild <= mark", self.dchild_success, self.mark_success)?;
+            le("dunflag <= dchild", self.dunflag_success, self.dchild_success)?;
+            le("inserts_true <= iflag", self.inserts_true, self.iflag_success)?;
+            le("deletes_true <= mark", self.deletes_true, self.mark_success)?;
+        } else {
+            eq("iflag = ichild", self.iflag_success, self.ichild_success)?;
+            eq("ichild = iunflag", self.ichild_success, self.iunflag_success)?;
+            eq(
+                "dflag = mark + backtrack",
+                self.dflag_success,
+                self.mark_success + self.backtrack_success,
+            )?;
+            eq("mark = dchild", self.mark_success, self.dchild_success)?;
+            eq("dchild = dunflag", self.dchild_success, self.dunflag_success)?;
+            eq("inserts_true = ichild", self.inserts_true, self.ichild_success)?;
+            eq("deletes_true = dchild", self.deletes_true, self.dchild_success)?;
+        }
+        if self.iflag_success > self.iflag_attempts {
+            return Err("iflag successes exceed attempts".into());
+        }
+        if self.dflag_success > self.dflag_attempts {
+            return Err("dflag successes exceed attempts".into());
+        }
+        if self.mark_success > self.mark_attempts {
+            return Err("mark successes exceed attempts".into());
+        }
+        Ok(())
+    }
+
+    /// Helping performed per completed update — the "conservative helping"
+    /// metric of experiment T9.
+    pub fn helps_per_update(&self) -> f64 {
+        let updates = self.inserts + self.deletes;
+        if updates == 0 {
+            0.0
+        } else {
+            self.helps as f64 / updates as f64
+        }
+    }
+
+    /// Field-wise difference (`self - earlier`), for measuring one phase of
+    /// a long run.
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            finds: self.finds - earlier.finds,
+            inserts: self.inserts - earlier.inserts,
+            deletes: self.deletes - earlier.deletes,
+            inserts_true: self.inserts_true - earlier.inserts_true,
+            deletes_true: self.deletes_true - earlier.deletes_true,
+            searches: self.searches - earlier.searches,
+            insert_retries: self.insert_retries - earlier.insert_retries,
+            delete_retries: self.delete_retries - earlier.delete_retries,
+            iflag_attempts: self.iflag_attempts - earlier.iflag_attempts,
+            iflag_success: self.iflag_success - earlier.iflag_success,
+            ichild_success: self.ichild_success - earlier.ichild_success,
+            iunflag_success: self.iunflag_success - earlier.iunflag_success,
+            dflag_attempts: self.dflag_attempts - earlier.dflag_attempts,
+            dflag_success: self.dflag_success - earlier.dflag_success,
+            mark_attempts: self.mark_attempts - earlier.mark_attempts,
+            mark_success: self.mark_success - earlier.mark_success,
+            dchild_success: self.dchild_success - earlier.dchild_success,
+            dunflag_success: self.dunflag_success - earlier.dunflag_success,
+            backtrack_success: self.backtrack_success - earlier.backtrack_success,
+            helps: self.helps - earlier.helps,
+            help_insert_calls: self.help_insert_calls - earlier.help_insert_calls,
+            help_delete_calls: self.help_delete_calls - earlier.help_delete_calls,
+            help_marked_calls: self.help_marked_calls - earlier.help_marked_calls,
+            nodes_retired: self.nodes_retired - earlier.nodes_retired,
+            infos_retired: self.infos_retired - earlier.infos_retired,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let s = TreeStats::default();
+        s.finds.fetch_add(3, Ordering::Relaxed);
+        s.iflag_success.fetch_add(2, Ordering::Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.finds, 3);
+        assert_eq!(snap.iflag_success, 2);
+    }
+
+    #[test]
+    fn figure4_accepts_consistent_counts() {
+        let snap = StatsSnapshot {
+            iflag_attempts: 5,
+            iflag_success: 4,
+            ichild_success: 4,
+            iunflag_success: 4,
+            inserts_true: 4,
+            dflag_attempts: 4,
+            dflag_success: 3,
+            mark_attempts: 3,
+            mark_success: 2,
+            backtrack_success: 1,
+            dchild_success: 2,
+            dunflag_success: 2,
+            deletes_true: 2,
+            ..Default::default()
+        };
+        snap.check_figure4().unwrap();
+    }
+
+    #[test]
+    fn figure4_rejects_unbalanced_insert_circuit() {
+        let snap = StatsSnapshot {
+            iflag_attempts: 2,
+            iflag_success: 2,
+            ichild_success: 1,
+            ..Default::default()
+        };
+        let err = snap.check_figure4().unwrap_err();
+        assert!(err.contains("iflag = ichild"), "{err}");
+    }
+
+    #[test]
+    fn figure4_rejects_deletion_leak() {
+        let snap = StatsSnapshot {
+            dflag_attempts: 3,
+            dflag_success: 3,
+            mark_attempts: 3,
+            mark_success: 1,
+            backtrack_success: 1, // one DFlag never resolved
+            dchild_success: 1,
+            dunflag_success: 1,
+            deletes_true: 1,
+            ..Default::default()
+        };
+        let err = snap.check_figure4().unwrap_err();
+        assert!(err.contains("dflag = mark + backtrack"), "{err}");
+    }
+
+    #[test]
+    fn delta_subtracts_fieldwise() {
+        let a = StatsSnapshot {
+            finds: 10,
+            helps: 4,
+            ..Default::default()
+        };
+        let b = StatsSnapshot {
+            finds: 3,
+            helps: 1,
+            ..Default::default()
+        };
+        let d = a.delta(&b);
+        assert_eq!(d.finds, 7);
+        assert_eq!(d.helps, 3);
+    }
+
+    #[test]
+    fn helps_per_update_handles_zero() {
+        assert_eq!(StatsSnapshot::default().helps_per_update(), 0.0);
+        let s = StatsSnapshot {
+            inserts: 2,
+            deletes: 2,
+            helps: 6,
+            ..Default::default()
+        };
+        assert!((s.helps_per_update() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_lists_every_counter() {
+        let s = TreeStats::default().snapshot().to_string();
+        assert!(s.contains("iflag_success"));
+        assert!(s.contains("backtrack_success"));
+        assert!(s.contains("helps"));
+    }
+}

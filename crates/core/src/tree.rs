@@ -1,0 +1,739 @@
+//! The non-blocking BST: `Search`, `Find`, `Insert`, `Delete` and the
+//! helping routines, line-for-line against the paper's Figures 8 and 9.
+//!
+//! Each public operation pins the epoch collector once per *attempt* (the
+//! paper's retry loop iterations), so every pointer read during an attempt
+//! — including Info records published by other threads — stays live for
+//! the whole attempt. Retired nodes and Info records are handed to the
+//! collector at exactly the points the paper's Section 6 prescribes
+//! (child CAS for nodes, unflag/backtrack CAS for Info records).
+
+use crate::node::{Info, Node, UpdateRef, UpdateWordExt, DInfo, IInfo, ORD};
+use crate::state::State;
+use crate::stats::{StatsSnapshot, TreeStats};
+use nbbst_dictionary::{real_vs_node, ConcurrentMap, SentinelKey};
+use nbbst_reclaim::{Collector, Guard, Owned, Shared};
+use std::cmp::Ordering as CmpOrdering;
+use std::fmt;
+use std::sync::atomic::Ordering as AtomicOrdering;
+use std::sync::Arc;
+
+/// The non-blocking binary search tree of Ellen, Fatourou, Ruppert and
+/// van Breugel (PODC 2010).
+///
+/// A linearizable, lock-free dictionary built from single-word CAS:
+///
+/// * `Find` only reads shared memory;
+/// * `Insert` completes after flagging **one** node; `Delete` after
+///   flagging/marking **two** — so updates to different parts of the tree
+///   run fully concurrently;
+/// * any number of threads may crash (stop taking steps) at any point and
+///   the remaining threads still make progress, because every flag carries
+///   an *Info record* that lets others finish the stalled operation.
+///
+/// # Type parameters
+///
+/// `K: Ord + Clone` — keys are cloned into routing nodes (the paper's
+/// internal nodes duplicate leaf keys). `V: Clone` — an insertion next to
+/// leaf `l` creates a *new sibling* copy of `l` (Figure 1), which copies
+/// `l`'s value.
+///
+/// # Examples
+///
+/// ```
+/// use nbbst_core::NbBst;
+/// use nbbst_dictionary::ConcurrentMap;
+///
+/// let tree = NbBst::new();
+/// assert!(tree.insert(10u64, "ten"));
+/// assert!(tree.insert(20, "twenty"));
+/// assert!(!tree.insert(10, "TEN"));
+/// assert_eq!(tree.get(&10), Some("ten"));
+/// assert!(tree.remove(&10));
+/// assert!(!tree.contains(&10));
+/// ```
+///
+/// Concurrent use — the tree is `Sync`; share it by reference:
+///
+/// ```
+/// use nbbst_core::NbBst;
+/// use nbbst_dictionary::ConcurrentMap;
+///
+/// let tree: NbBst<u64, u64> = NbBst::new();
+/// std::thread::scope(|s| {
+///     for t in 0..4u64 {
+///         let tree = &tree;
+///         s.spawn(move || {
+///             for i in 0..100 {
+///                 tree.insert(t * 100 + i, i);
+///             }
+///         });
+///     }
+/// });
+/// assert_eq!(tree.quiescent_len(), 400);
+/// ```
+pub struct NbBst<K, V> {
+    /// "The shared variable Root is a pointer to the root of the tree, and
+    /// this pointer is never changed" (Section 4.1).
+    root: Box<Node<K, V>>,
+    collector: Collector,
+    stats: Option<Arc<TreeStats>>,
+}
+
+/// What the paper's `Search(k)` returns (Figure 8 lines 23–35): the leaf
+/// reached, the last two internal nodes on the path, and copies of their
+/// update words.
+pub(crate) struct SearchResult<'g, K, V> {
+    /// Grandparent of `l`; null when the search took a single step (which
+    /// by postcondition (4) only happens when `l` is the `∞1` leaf).
+    pub(crate) gp: Shared<'g, Node<K, V>>,
+    /// Parent of `l` (always an internal node).
+    pub(crate) p: Shared<'g, Node<K, V>>,
+    /// The leaf reached.
+    pub(crate) l: Shared<'g, Node<K, V>>,
+    /// Copy of `p`'s update word read during the traversal.
+    pub(crate) pupdate: UpdateRef<'g, K, V>,
+    /// Copy of `gp`'s update word read during the traversal.
+    pub(crate) gpupdate: UpdateRef<'g, K, V>,
+}
+
+impl<K, V> NbBst<K, V>
+where
+    K: Ord + Clone,
+    V: Clone,
+{
+    /// Creates the initial tree of Figure 6(a): an internal root keyed
+    /// `∞2` whose children are the `∞1` and `∞2` sentinel leaves.
+    pub fn new() -> NbBst<K, V> {
+        let left = Box::into_raw(Box::new(Node::leaf(SentinelKey::Inf1, None)));
+        let right = Box::into_raw(Box::new(Node::leaf(SentinelKey::Inf2, None)));
+        NbBst {
+            root: Box::new(Node::internal(SentinelKey::Inf2, left, right)),
+            collector: Collector::new(),
+            stats: None,
+        }
+    }
+
+    /// Like [`NbBst::new`], with Figure-4 CAS counters attached
+    /// (see [`NbBst::stats`]).
+    pub fn with_stats() -> NbBst<K, V> {
+        let mut t = NbBst::new();
+        t.stats = Some(Arc::new(TreeStats::default()));
+        t
+    }
+
+    /// Like [`NbBst::new`], but **leaking** every removed node and Info
+    /// record instead of reclaiming them — the paper's literal
+    /// fresh-allocations memory model (Section 4.1), provided for the
+    /// reclamation-overhead ablation (experiment T8). Memory use grows
+    /// without bound under update workloads.
+    pub fn new_leaky() -> NbBst<K, V> {
+        let mut t = NbBst::new();
+        t.collector = Collector::new_leaky();
+        t
+    }
+
+    /// A snapshot of the CAS/helping counters, if this tree was built with
+    /// [`NbBst::with_stats`].
+    pub fn stats(&self) -> Option<StatsSnapshot> {
+        self.stats.as_ref().map(|s| s.snapshot())
+    }
+
+    /// The tree's epoch collector (exposed for tests and reclamation
+    /// experiments).
+    pub fn collector(&self) -> &Collector {
+        &self.collector
+    }
+
+    #[inline]
+    fn bump(&self, f: impl FnOnce(&TreeStats) -> &std::sync::atomic::AtomicU64) {
+        if let Some(s) = &self.stats {
+            f(s).fetch_add(1, AtomicOrdering::Relaxed);
+        }
+    }
+
+    /// Counter access for the stepped drivers in [`crate::raw`], which
+    /// perform the same CAS steps outside the normal code paths.
+    #[inline]
+    pub(crate) fn bump_stat(&self, f: impl FnOnce(&TreeStats) -> &std::sync::atomic::AtomicU64) {
+        self.bump(f);
+    }
+
+    /// Pins the collector for one operation attempt.
+    pub(crate) fn pin(&self) -> Guard {
+        self.collector.pin()
+    }
+
+    /// The root node (never changes; Section 4.1).
+    pub(crate) fn root(&self) -> &Node<K, V> {
+        &self.root
+    }
+
+    // ------------------------------------------------------------------
+    // Search (Figure 8, lines 23–35)
+    // ------------------------------------------------------------------
+
+    /// Traverses one branch from the root to a leaf, recording the last two
+    /// internal nodes and their update words.
+    pub(crate) fn search<'g>(&self, key: &K, guard: &'g Guard) -> SearchResult<'g, K, V> {
+        self.bump(|s| &s.searches);
+        let mut gp: Shared<'g, Node<K, V>> = Shared::null();
+        let mut p: Shared<'g, Node<K, V>> = Shared::null();
+        // SAFETY: the root lives as long as `self`.
+        let mut l: Shared<'g, Node<K, V>> =
+            unsafe { Shared::from_data(&*self.root as *const Node<K, V> as usize) };
+        let mut gpupdate: UpdateRef<'g, K, V> = Shared::null();
+        let mut pupdate: UpdateRef<'g, K, V> = Shared::null();
+
+        loop {
+            // SAFETY: `l` was read (under `guard`) from a child pointer of
+            // a node reached from the root, or is the root itself.
+            let l_ref = unsafe { l.deref() };
+            if l_ref.is_leaf {
+                break;
+            }
+            gp = p; //                                 line 28
+            p = l; //                                  line 29
+            gpupdate = pupdate; //                     line 30
+            pupdate = l_ref.load_update(guard); //     line 31
+            let go_left = real_vs_node(key, &l_ref.key) == CmpOrdering::Less;
+            l = l_ref.load_child(go_left, guard); //   line 32
+        }
+        SearchResult {
+            gp,
+            p,
+            l,
+            pupdate,
+            gpupdate,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Find (Figure 8, lines 36–40)
+    // ------------------------------------------------------------------
+
+    /// The paper's `Find(k)`: `true` iff `k` is in the dictionary.
+    ///
+    /// Performs only reads of shared memory.
+    pub fn contains_key(&self, key: &K) -> bool {
+        let guard = self.pin();
+        let s = self.search(key, &guard);
+        self.bump(|st| &st.finds);
+        // SAFETY: `l` points to a leaf protected by `guard`.
+        unsafe { s.l.deref() }.key.as_key() == Some(key)
+    }
+
+    /// Like [`NbBst::contains_key`], returning a clone of the stored value.
+    pub fn get_cloned(&self, key: &K) -> Option<V> {
+        let guard = self.pin();
+        let s = self.search(key, &guard);
+        self.bump(|st| &st.finds);
+        let l_ref = unsafe { s.l.deref() };
+        if l_ref.key.as_key() == Some(key) {
+            l_ref.value.clone()
+        } else {
+            None
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Insert (Figure 8, lines 41–68)
+    // ------------------------------------------------------------------
+
+    /// Adds `key` with `value`; on duplicate, returns ownership of both.
+    ///
+    /// # Errors
+    ///
+    /// `Err((key, value))` if the key was already present (the paper's
+    /// `Insert` returns `False`; we additionally hand the inputs back).
+    pub fn insert_entry(&self, key: K, value: V) -> Result<(), (K, V)> {
+        // Line 44: the new leaf is allocated once, before the retry loop.
+        let new_leaf =
+            Box::into_raw(Box::new(Node::leaf(SentinelKey::Key(key.clone()), Some(value))));
+
+        loop {
+            let guard = self.pin();
+            let s = self.search(&key, &guard); //                       line 49
+            let l_ref = unsafe { s.l.deref() };
+            if l_ref.key.as_key() == Some(&key) {
+                // Line 50: cannot insert a duplicate key. Recover the
+                // never-published leaf's contents.
+                self.bump(|st| &st.inserts);
+                // SAFETY: `new_leaf` was never published.
+                let leaf = unsafe { Box::from_raw(new_leaf) };
+                let v = leaf.value.expect("fresh leaf carries its value");
+                let SentinelKey::Key(k) = leaf.key else {
+                    unreachable!("fresh leaf has a real key")
+                };
+                return Err((k, v));
+            }
+            if s.pupdate.state() != State::Clean {
+                // Line 51: help the operation blocking the parent, retry.
+                self.help(s.pupdate, &guard);
+                self.bump(|st| &st.insert_retries);
+                continue;
+            }
+
+            // Lines 52–54: build the replacement subtree of Figure 1.
+            let new_sibling = Box::into_raw(Box::new(Node::leaf(
+                l_ref.key.clone(),
+                l_ref.value.clone(),
+            )));
+            let new_key = SentinelKey::Key(key.clone());
+            let (routing, left, right) = if new_key < l_ref.key {
+                (l_ref.key.clone(), new_leaf as *const _, new_sibling as *const _)
+            } else {
+                (new_key, new_sibling as *const _, new_leaf as *const _)
+            };
+            let new_internal = Box::into_raw(Box::new(Node::internal(routing, left, right)));
+
+            // Line 55: fresh IInfo record.
+            let op = Owned::new(Info::Insert(IInfo {
+                p: s.p.as_raw(),
+                l: s.l.as_raw(),
+                new_internal,
+            }))
+            .with_tag(State::IFlag.tag());
+
+            // Line 56: the iflag CAS.
+            self.bump(|st| &st.iflag_attempts);
+            let p_ref = unsafe { s.p.deref() };
+            match p_ref
+                .update
+                .compare_exchange(s.pupdate, op, ORD, ORD, &guard)
+            {
+                Ok(op_word) => {
+                    // Lines 57–59: flag won; finish and report success.
+                    self.bump(|st| &st.iflag_success);
+                    self.help_insert(op_word, &guard);
+                    self.bump(|st| &st.inserts);
+                    self.bump(|st| &st.inserts_true);
+                    return Ok(());
+                }
+                Err(e) => {
+                    // Line 61: the iflag CAS failed; help whoever holds the
+                    // flag and retry. The speculative nodes are ours alone.
+                    // SAFETY: never published.
+                    unsafe {
+                        drop(Box::from_raw(new_sibling));
+                        drop(Box::from_raw(new_internal));
+                    }
+                    drop(e.new); // the unpublished IInfo record
+                    self.help(e.current, &guard);
+                    self.bump(|st| &st.insert_retries);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Delete (Figure 9, lines 69–89)
+    // ------------------------------------------------------------------
+
+    /// Removes `key`; returns `true` iff it was present.
+    pub fn remove_key(&self, key: &K) -> bool {
+        self.remove_and(key, |_| ()).is_some()
+    }
+
+    /// Removes `key`, returning a clone of its value if it was present.
+    pub fn remove_entry(&self, key: &K) -> Option<V> {
+        self.remove_and(key, |v| v.cloned())?
+    }
+
+    /// Shared deletion driver; `extract` runs on the deleted leaf's value
+    /// while it is still guard-protected.
+    fn remove_and<R>(&self, key: &K, extract: impl Fn(Option<&V>) -> R) -> Option<R> {
+        loop {
+            let guard = self.pin();
+            let s = self.search(key, &guard); //                        line 75
+            let l_ref = unsafe { s.l.deref() };
+            if l_ref.key.as_key() != Some(key) {
+                // Line 76: key not in the tree.
+                self.bump(|st| &st.deletes);
+                return None;
+            }
+            if s.gpupdate.state() != State::Clean {
+                // Line 77: grandparent busy; help, retry.
+                self.help(s.gpupdate, &guard);
+                self.bump(|st| &st.delete_retries);
+                continue;
+            }
+            if s.pupdate.state() != State::Clean {
+                // Line 78: parent busy; help, retry.
+                self.help(s.pupdate, &guard);
+                self.bump(|st| &st.delete_retries);
+                continue;
+            }
+
+            // Line 80: fresh DInfo record. `gp` is non-null because `l`
+            // holds a real key (Search postcondition 4).
+            debug_assert!(!s.gp.is_null(), "real-keyed leaf has a grandparent");
+            let op = Owned::new(Info::Delete(DInfo {
+                gp: s.gp.as_raw(),
+                p: s.p.as_raw(),
+                l: s.l.as_raw(),
+                pupdate: s.pupdate.into_data(),
+            }))
+            .with_tag(State::DFlag.tag());
+
+            // Line 81: the dflag CAS.
+            self.bump(|st| &st.dflag_attempts);
+            let gp_ref = unsafe { s.gp.deref() };
+            match gp_ref
+                .update
+                .compare_exchange(s.gpupdate, op, ORD, ORD, &guard)
+            {
+                Ok(op_word) => {
+                    self.bump(|st| &st.dflag_success);
+                    // Clone the value before the leaf can be retired; the
+                    // guard keeps `l_ref` valid either way.
+                    let result = extract(l_ref.value.as_ref());
+                    if self.help_delete(op_word, &guard) {
+                        // Line 83: deletion completed.
+                        self.bump(|st| &st.deletes);
+                        self.bump(|st| &st.deletes_true);
+                        return Some(result);
+                    }
+                    self.bump(|st| &st.delete_retries);
+                }
+                Err(e) => {
+                    // Line 85: dflag failed; help the blocker and retry.
+                    drop(e.new); // unpublished DInfo
+                    self.help(e.current, &guard);
+                    self.bump(|st| &st.delete_retries);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Helping (Figure 8 lines 63–68, Figure 9 lines 90–118)
+    // ------------------------------------------------------------------
+
+    /// `Help(u)` (lines 107–112): dispatch on the state packed in `u`.
+    pub(crate) fn help(&self, u: UpdateRef<'_, K, V>, guard: &Guard) {
+        self.bump(|st| &st.helps);
+        match u.state() {
+            State::IFlag => self.help_insert(u, guard),
+            State::Mark => self.help_marked(u, guard),
+            State::DFlag => {
+                let _ = self.help_delete(u, guard);
+            }
+            State::Clean => {}
+        }
+    }
+
+    /// `HelpInsert(op)` (lines 63–68): perform the ichild and iunflag CAS
+    /// steps described by an IInfo record.
+    pub(crate) fn help_insert(&self, op: UpdateRef<'_, K, V>, guard: &Guard) {
+        self.bump(|st| &st.help_insert_calls);
+        let op = op.with_tag(0);
+        // SAFETY: `op` was read from (or just installed into) an update
+        // word under `guard`; Info records are retired only after their
+        // unflag CAS, so it is live here.
+        let info = unsafe { op.deref() }.as_insert();
+        // SAFETY: nodes referenced by a live Info record are retired no
+        // earlier than the record's circuit completes.
+        let p = unsafe { &*info.p };
+        let l: Shared<'_, Node<K, V>> = unsafe { Shared::from_data(info.l as usize) };
+        let new: Shared<'_, Node<K, V>> = unsafe { Shared::from_data(info.new_internal as usize) };
+
+        // Line 66: the ichild CAS (via CAS-Child). At most one helper's CAS
+        // succeeds; that helper retires the replaced leaf.
+        if self.cas_child(p, l, new, guard) {
+            self.bump(|st| &st.ichild_success);
+            self.bump(|st| &st.nodes_retired);
+            // SAFETY: `l` has just been unlinked by our CAS and is retired
+            // exactly once (only the successful CASer reaches this).
+            unsafe { guard.defer_destroy(l) };
+        }
+
+        // Line 67: the iunflag CAS. The winner retires the Info record
+        // (Section 6: "retirement ... could be performed when an unflag ...
+        // CAS takes place").
+        let expected = op.with_tag(State::IFlag.tag());
+        let clean = op.with_tag(State::Clean.tag());
+        if p.update
+            .compare_exchange(expected, clean, ORD, ORD, guard)
+            .is_ok()
+        {
+            self.bump(|st| &st.iunflag_success);
+            self.bump(|st| &st.infos_retired);
+            // SAFETY: one retire per circuit (unique unflag winner); the
+            // word now holds the pointer only as an inert comparand.
+            unsafe { guard.defer_destroy(op) };
+        }
+    }
+
+    /// `HelpDelete(op)` (lines 90–99): try to mark the parent; on success
+    /// complete via [`NbBst::help_marked`], otherwise help the blocker and
+    /// backtrack. Returns whether the deletion completed.
+    pub(crate) fn help_delete(&self, op: UpdateRef<'_, K, V>, guard: &Guard) -> bool {
+        self.bump(|st| &st.help_delete_calls);
+        let op = op.with_tag(0);
+        // SAFETY: as in `help_insert` — live until its circuit's unflag or
+        // backtrack CAS retires it.
+        let info = unsafe { op.deref() }.as_delete();
+        let p = unsafe { &*info.p };
+        let gp = unsafe { &*info.gp };
+
+        // Line 91: the mark CAS, expecting the pupdate word the deleter's
+        // Search observed.
+        let expected = info.pupdate_word(guard);
+        let mark_word = op.with_tag(State::Mark.tag());
+        self.bump(|st| &st.mark_attempts);
+        let outcome = p
+            .update
+            .compare_exchange(expected, mark_word, ORD, ORD, guard);
+
+        let marked_by_us = outcome.is_ok();
+        let already_marked_for_op = matches!(&outcome, Err(e) if e.current == mark_word);
+        if marked_by_us {
+            self.bump(|st| &st.mark_success);
+        }
+        if marked_by_us || already_marked_for_op {
+            // Line 92: `op→p` is successfully marked (by us or a helper of
+            // this same operation); complete the deletion.
+            self.help_marked(op, guard); //                line 93
+            true //                                        line 94
+        } else {
+            let current = match outcome {
+                Err(e) => e.current,
+                Ok(_) => unreachable!("handled above"),
+            };
+            // Line 97: help the operation that caused the failure.
+            self.help(current, guard);
+            // Line 98: the backtrack CAS removes our flag so the Delete
+            // can retry from scratch.
+            let dflag = op.with_tag(State::DFlag.tag());
+            let clean = op.with_tag(State::Clean.tag());
+            if gp
+                .update
+                .compare_exchange(dflag, clean, ORD, ORD, guard)
+                .is_ok()
+            {
+                self.bump(|st| &st.backtrack_success);
+                self.bump(|st| &st.infos_retired);
+                // SAFETY: backtrack and dunflag are mutually exclusive for
+                // one DInfo (the paper's Section 5 argument), so this is
+                // the record's unique retirement.
+                unsafe { guard.defer_destroy(op) };
+            }
+            false //                                       line 99
+        }
+    }
+
+    /// `HelpMarked(op)` (lines 100–106): splice the marked parent out of
+    /// the tree (dchild CAS) and unflag the grandparent (dunflag CAS).
+    pub(crate) fn help_marked(&self, op: UpdateRef<'_, K, V>, guard: &Guard) {
+        self.bump(|st| &st.help_marked_calls);
+        let op = op.with_tag(0);
+        let info = unsafe { op.deref() }.as_delete();
+        let p = unsafe { &*info.p };
+        let gp = unsafe { &*info.gp };
+
+        // Lines 103–104: `other` := the sibling of the leaf being deleted.
+        // `p` is marked, so its child pointers are frozen; both loads see
+        // final values.
+        let right = p.load_child(false, guard);
+        let other = if right.as_raw() == info.l {
+            p.load_child(true, guard)
+        } else {
+            right
+        };
+
+        // Line 105: the dchild CAS. The unique winner retires the two
+        // removed nodes (the marked parent and the deleted leaf).
+        let p_shared: Shared<'_, Node<K, V>> = unsafe { Shared::from_data(info.p as usize) };
+        let l_shared: Shared<'_, Node<K, V>> = unsafe { Shared::from_data(info.l as usize) };
+        if self.cas_child(gp, p_shared, other, guard) {
+            self.bump(|st| &st.dchild_success);
+            self.bump(|st| &st.nodes_retired);
+            self.bump(|st| &st.nodes_retired);
+            // SAFETY: our CAS unlinked `p` (and with it the leaf `l`);
+            // unique retirement as only one dchild per circuit succeeds.
+            unsafe {
+                guard.defer_destroy(p_shared);
+                guard.defer_destroy(l_shared);
+            }
+        }
+
+        // Line 106: the dunflag CAS; winner retires the DInfo record.
+        let dflag = op.with_tag(State::DFlag.tag());
+        let clean = op.with_tag(State::Clean.tag());
+        if gp
+            .update
+            .compare_exchange(dflag, clean, ORD, ORD, guard)
+            .is_ok()
+        {
+            self.bump(|st| &st.dunflag_success);
+            self.bump(|st| &st.infos_retired);
+            // SAFETY: unique retirement (unique dunflag winner; backtrack
+            // cannot also succeed once the mark CAS succeeded).
+            unsafe { guard.defer_destroy(op) };
+        }
+    }
+
+    /// `CAS-Child(parent, old, new)` (lines 113–118): pick the left or
+    /// right child slot by comparing keys, then CAS it.
+    pub(crate) fn cas_child(
+        &self,
+        parent: &Node<K, V>,
+        old: Shared<'_, Node<K, V>>,
+        new: Shared<'_, Node<K, V>>,
+        guard: &Guard,
+    ) -> bool {
+        // SAFETY: `new` is either a freshly built (unpublished) subtree or
+        // a node read under `guard`.
+        let new_ref = unsafe { new.deref() };
+        let slot = if new_ref.key < parent.key {
+            &parent.left //                                line 115
+        } else {
+            &parent.right //                               line 117
+        };
+        slot.compare_exchange(old, new, ORD, ORD, guard).is_ok()
+    }
+}
+
+impl<K, V> Default for NbBst<K, V>
+where
+    K: Ord + Clone,
+    V: Clone,
+{
+    fn default() -> Self {
+        NbBst::new()
+    }
+}
+
+impl<K, V> ConcurrentMap<K, V> for NbBst<K, V>
+where
+    K: Ord + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    fn insert(&self, key: K, value: V) -> bool {
+        self.insert_entry(key, value).is_ok()
+    }
+
+    fn remove(&self, key: &K) -> bool {
+        self.remove_key(key)
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        self.contains_key(key)
+    }
+
+    fn get(&self, key: &K) -> Option<V> {
+        self.get_cloned(key)
+    }
+
+    fn quiescent_len(&self) -> usize {
+        self.len_slow()
+    }
+}
+
+impl<K, V> fmt::Debug for NbBst<K, V>
+where
+    K: Ord + Clone + fmt::Debug,
+    V: Clone,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NbBst")
+            .field("len", &self.len_slow())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<K, V> Drop for NbBst<K, V> {
+    fn drop(&mut self) {
+        // `&mut self`: no concurrent operations. Free (1) every node still
+        // reachable from the root, (2) every Info record still *flagged*
+        // into a reachable node (a non-Clean state means its circuit never
+        // reached the unflag/backtrack CAS that would have retired it —
+        // e.g. a "crashed" stepped operation), and (3) for stalled inserts,
+        // the speculative subtree that was never installed.
+        //
+        // Info pointers under a Clean state were already retired by their
+        // circuit's winner and are freed by the collector, not here.
+        use std::collections::HashSet;
+
+        let mut reachable: Vec<*mut Node<K, V>> = Vec::new();
+        let mut reachable_set: HashSet<*const Node<K, V>> = HashSet::new();
+        let mut flagged_infos: HashSet<*mut Info<K, V>> = HashSet::new();
+
+        // The root Box frees itself; walk its children.
+        let mut stack: Vec<*mut Node<K, V>> = Vec::new();
+        {
+            let root = &*self.root;
+            collect_node_edges(root, &mut stack, &mut flagged_infos);
+        }
+        while let Some(n) = stack.pop() {
+            if !reachable_set.insert(n as *const _) {
+                continue;
+            }
+            reachable.push(n);
+            // SAFETY: teardown; we own everything.
+            let node = unsafe { &*n };
+            if !node.is_leaf {
+                collect_node_edges(node, &mut stack, &mut flagged_infos);
+            }
+        }
+
+        // Free stalled-insert speculative subtrees (IInfo whose
+        // new_internal never made it into the tree).
+        for &info in &flagged_infos {
+            // SAFETY: flagged Info records were never retired (their state
+            // is not Clean), so we uniquely own them at teardown.
+            if let Info::Insert(iinfo) = unsafe { &*info } {
+                let ni = iinfo.new_internal;
+                if !reachable_set.contains(&(ni as *const _)) {
+                    // SAFETY: never published; the subtree is exactly the
+                    // fresh internal node and its two fresh leaves.
+                    unsafe {
+                        let guard = nbbst_reclaim::unprotected();
+                        let internal = Box::from_raw(ni as *mut Node<K, V>);
+                        let l = internal.left.load(ORD, &guard);
+                        let r = internal.right.load(ORD, &guard);
+                        // One of the children may be reachable... it cannot
+                        // be: new_internal's children are the fresh leaf and
+                        // fresh sibling, allocated by the stalled insert.
+                        drop(Box::from_raw(l.as_raw() as *mut Node<K, V>));
+                        drop(Box::from_raw(r.as_raw() as *mut Node<K, V>));
+                    }
+                }
+            }
+        }
+        for info in flagged_infos {
+            // SAFETY: unique ownership as argued above.
+            unsafe { drop(Box::from_raw(info)) };
+        }
+        for n in reachable {
+            // SAFETY: each reachable node collected exactly once.
+            unsafe { drop(Box::from_raw(n)) };
+        }
+        // The collector (dropped after this) frees everything that was
+        // retired during normal operation.
+    }
+}
+
+/// Teardown helper: pushes a node's children and records its flagged Info
+/// pointer, if any.
+fn collect_node_edges<K, V>(
+    node: &Node<K, V>,
+    stack: &mut Vec<*mut Node<K, V>>,
+    flagged_infos: &mut std::collections::HashSet<*mut Info<K, V>>,
+) {
+    // SAFETY: teardown-only, single-threaded.
+    let guard = unsafe { nbbst_reclaim::unprotected() };
+    let l = node.left.load(ORD, &guard);
+    let r = node.right.load(ORD, &guard);
+    if !l.is_null() {
+        stack.push(l.as_raw() as *mut Node<K, V>);
+    }
+    if !r.is_null() {
+        stack.push(r.as_raw() as *mut Node<K, V>);
+    }
+    let u = node.update.load(ORD, &guard);
+    if State::from_tag(u.tag()) != State::Clean && !u.is_null() {
+        flagged_infos.insert(u.as_raw() as *mut Info<K, V>);
+    }
+}

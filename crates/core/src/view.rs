@@ -1,0 +1,328 @@
+//! Whole-tree views: snapshots, invariant checking and rendering.
+//!
+//! Everything here traverses the tree under a single epoch pin. The
+//! results are *weakly consistent*: exact when the tree is quiescent (no
+//! update in flight), and a correct view of some mixture of states
+//! otherwise. These operations exist for validation, experiments and
+//! figures — they are not part of the paper's algorithm.
+
+use crate::node::{Node, UpdateWordExt};
+use crate::state::State;
+use crate::tree::NbBst;
+use nbbst_dictionary::SentinelKey;
+use nbbst_reclaim::Guard;
+use std::fmt;
+
+impl<K, V> NbBst<K, V>
+where
+    K: Ord + Clone,
+    V: Clone,
+{
+    /// Counts the real keys by traversing the whole tree. Exact only at
+    /// quiescence.
+    pub fn len_slow(&self) -> usize {
+        let guard = self.pin();
+        let mut n = 0;
+        self.walk_leaves(&guard, &mut |leaf| {
+            if !leaf.key.is_sentinel() {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// In-order snapshot of the real keys. Exact only at quiescence.
+    pub fn keys_snapshot(&self) -> Vec<K> {
+        let guard = self.pin();
+        let mut keys = Vec::new();
+        self.walk_leaves(&guard, &mut |leaf| {
+            if let SentinelKey::Key(k) = &leaf.key {
+                keys.push(k.clone());
+            }
+        });
+        keys
+    }
+
+    /// In-order snapshot of `(key, value)` clones. Exact only at
+    /// quiescence.
+    pub fn pairs_snapshot(&self) -> Vec<(K, V)> {
+        let guard = self.pin();
+        let mut pairs = Vec::new();
+        self.walk_leaves(&guard, &mut |leaf| {
+            if let SentinelKey::Key(k) = &leaf.key {
+                let v = leaf.value.as_ref().expect("real leaves carry values");
+                pairs.push((k.clone(), v.clone()));
+            }
+        });
+        pairs
+    }
+
+    /// Height in edges of the longest root-to-leaf path (the initial
+    /// sentinel tree has height 1). Exact only at quiescence.
+    pub fn height(&self) -> usize {
+        fn h<K, V>(node: &Node<K, V>, guard: &Guard) -> usize {
+            if node.is_leaf {
+                return 0;
+            }
+            let l = node.load_child(true, guard);
+            let r = node.load_child(false, guard);
+            // SAFETY: children of a reachable internal node, under pin.
+            let (l, r) = unsafe { (l.deref(), r.deref()) };
+            1 + h(l, guard).max(h(r, guard))
+        }
+        let guard = self.pin();
+        h(self.root(), &guard)
+    }
+
+    /// In-order traversal applying `f` to every leaf. Weakly consistent.
+    fn walk_leaves(&self, guard: &Guard, f: &mut impl FnMut(&Node<K, V>)) {
+        fn go<K, V>(node: &Node<K, V>, guard: &Guard, f: &mut impl FnMut(&Node<K, V>)) {
+            if node.is_leaf {
+                f(node);
+                return;
+            }
+            // SAFETY: reachable children under pin.
+            let l = unsafe { node.load_child(true, guard).deref() };
+            let r = unsafe { node.load_child(false, guard).deref() };
+            go(l, guard, f);
+            go(r, guard, f);
+        }
+        go(self.root(), guard, f);
+    }
+
+    /// Checks the structural invariants the paper's proof establishes, at
+    /// quiescence:
+    ///
+    /// 1. the sentinel shape of Figure 6 (root keyed `∞2`, its right child
+    ///    the `∞2` leaf; the `∞1` leaf present);
+    /// 2. every internal node has two non-null children;
+    /// 3. the BST property: left descendants `<` node key `<=` right
+    ///    descendants;
+    /// 4. leaf keys are distinct and in order;
+    /// 5. every internal node's state is `Clean` (pass
+    ///    `allow_flags = true` to skip this when deliberately-stalled
+    ///    operations are present).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.check_invariants_allowing(false)
+    }
+
+    /// [`NbBst::check_invariants`] with flagged/marked nodes tolerated.
+    pub fn check_invariants_allowing(&self, allow_flags: bool) -> Result<(), String> {
+        let guard = self.pin();
+        let root = self.root();
+        if root.key != SentinelKey::Inf2 {
+            return Err("root key is not ∞2".into());
+        }
+        // SAFETY: reachable under pin.
+        let right = unsafe { root.load_child(false, &guard).deref() };
+        if !(right.is_leaf && right.key == SentinelKey::Inf2) {
+            return Err("root's right child is not the ∞2 leaf".into());
+        }
+
+        struct Ctx<'a> {
+            allow_flags: bool,
+            sentinel_leaves: usize,
+            real_leaves: usize,
+            guard: &'a Guard,
+        }
+        fn go<K: Ord + Clone, V>(
+            node: &Node<K, V>,
+            lo: Option<&SentinelKey<K>>,
+            hi: Option<&SentinelKey<K>>,
+            prev: &mut Option<SentinelKey<K>>,
+            ctx: &mut Ctx<'_>,
+        ) -> Result<(), String> {
+            if let Some(lo) = lo {
+                if node.key < *lo {
+                    return Err("BST property violated: key below lower bound".into());
+                }
+            }
+            if let Some(hi) = hi {
+                if node.key >= *hi {
+                    return Err("BST property violated: key not below upper bound".into());
+                }
+            }
+            if node.is_leaf {
+                if node.key.is_sentinel() {
+                    ctx.sentinel_leaves += 1;
+                } else {
+                    ctx.real_leaves += 1;
+                }
+                if let Some(p) = prev {
+                    if *p >= node.key {
+                        return Err("leaf keys not strictly increasing".into());
+                    }
+                }
+                *prev = Some(node.key.clone());
+                return Ok(());
+            }
+            if !ctx.allow_flags {
+                let state = node.load_update(ctx.guard).state();
+                if state != State::Clean {
+                    return Err(format!("internal node not Clean at quiescence: {state}"));
+                }
+            }
+            let l = node.load_child(true, ctx.guard);
+            let r = node.load_child(false, ctx.guard);
+            if l.is_null() || r.is_null() {
+                return Err("internal node with a null child".into());
+            }
+            // SAFETY: reachable under pin.
+            let (l, r) = unsafe { (l.deref(), r.deref()) };
+            go(l, lo, Some(&node.key), prev, ctx)?;
+            go(r, Some(&node.key), hi, prev, ctx)
+        }
+
+        let mut ctx = Ctx {
+            allow_flags,
+            sentinel_leaves: 0,
+            real_leaves: 0,
+            guard: &guard,
+        };
+        let mut prev = None;
+        go(root, None, None, &mut prev, &mut ctx)?;
+        if ctx.sentinel_leaves != 2 {
+            return Err(format!(
+                "expected exactly 2 sentinel leaves, found {}",
+                ctx.sentinel_leaves
+            ));
+        }
+        Ok(())
+    }
+
+    /// Renders the tree as indented ASCII in the style of the paper's
+    /// figures: internal nodes `(key state)`, leaves `[key]`.
+    ///
+    /// Used by the figure-regeneration binaries (F1/F2/F5/F6).
+    pub fn render(&self) -> String
+    where
+        K: fmt::Display,
+    {
+        fn go<K: fmt::Display, V>(
+            node: &Node<K, V>,
+            prefix: &str,
+            last: bool,
+            guard: &Guard,
+            out: &mut String,
+        ) {
+            let branch = if prefix.is_empty() {
+                ""
+            } else if last {
+                "└── "
+            } else {
+                "├── "
+            };
+            if node.is_leaf {
+                out.push_str(&format!("{prefix}{branch}[{}]\n", node.key));
+                return;
+            }
+            let state = node.load_update(guard).state();
+            if state == State::Clean {
+                out.push_str(&format!("{prefix}{branch}({})\n", node.key));
+            } else {
+                out.push_str(&format!("{prefix}{branch}({} {state})\n", node.key));
+            }
+            let child_prefix = if prefix.is_empty() {
+                String::new()
+            } else {
+                format!("{prefix}{}", if last { "    " } else { "│   " })
+            };
+            // SAFETY: reachable under pin.
+            let l = unsafe { node.load_child(true, guard).deref() };
+            let r = unsafe { node.load_child(false, guard).deref() };
+            go(l, &child_prefix, false, guard, out);
+            go(r, &child_prefix, true, guard, out);
+        }
+        let guard = self.pin();
+        let mut out = String::new();
+        go(self.root(), "", true, &guard, &mut out);
+        out
+    }
+
+    /// The update-word state of the internal node with routing key `key`
+    /// (first match on the search path), for schedule tests and figures.
+    pub fn state_of_internal(&self, key: &K) -> Option<State> {
+        let guard = self.pin();
+        let mut cur = self.root();
+        loop {
+            if cur.is_leaf {
+                return None;
+            }
+            if cur.key.as_key() == Some(key) {
+                return Some(cur.load_update(&guard).state());
+            }
+            let go_left = nbbst_dictionary::real_vs_node(key, &cur.key)
+                == std::cmp::Ordering::Less;
+            // SAFETY: reachable child under pin.
+            cur = unsafe { cur.load_child(go_left, &guard).deref() };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{NbBst, State};
+
+    fn tree(keys: &[u64]) -> NbBst<u64, u64> {
+        let t = NbBst::new();
+        for &k in keys {
+            t.insert_entry(k, k * 2).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn len_and_snapshots_agree() {
+        let t = tree(&[4, 2, 6, 1, 3]);
+        assert_eq!(t.len_slow(), 5);
+        assert_eq!(t.keys_snapshot(), vec![1, 2, 3, 4, 6]);
+        assert_eq!(
+            t.pairs_snapshot(),
+            vec![(1, 2), (2, 4), (3, 6), (4, 8), (6, 12)]
+        );
+    }
+
+    #[test]
+    fn height_counts_edges() {
+        let t: NbBst<u64, u64> = NbBst::new();
+        assert_eq!(t.height(), 1, "figure 6(a) tree");
+        t.insert_entry(1, 1).unwrap();
+        assert_eq!(t.height(), 2, "one key adds one level under ∞1");
+    }
+
+    #[test]
+    fn render_marks_states_and_shapes() {
+        let t = tree(&[10, 20]);
+        let r = t.render();
+        assert!(r.contains("(∞2)"), "{r}");
+        assert!(r.contains("[10]"), "{r}");
+        assert!(r.contains("[∞1]"), "{r}");
+        assert!(!r.contains("IFlag"), "quiet tree has no state annotations: {r}");
+    }
+
+    #[test]
+    fn state_of_internal_reports_clean_at_quiescence() {
+        let t = tree(&[10, 20, 30]);
+        // Internal routing nodes are keyed 20 and 30 after these inserts.
+        assert_eq!(t.state_of_internal(&20), Some(State::Clean));
+        assert_eq!(t.state_of_internal(&999), None, "no such internal");
+    }
+
+    #[test]
+    fn invariant_checker_flags_inflight_states_only_when_asked() {
+        use crate::raw::RawInsert;
+        let t = tree(&[10]);
+        let mut ins = RawInsert::new(&t, 20, 20);
+        assert!(ins.search().is_ready());
+        assert!(ins.flag());
+        // Strict check rejects the IFlag; tolerant check accepts.
+        assert!(t.check_invariants().is_err());
+        t.check_invariants_allowing(true).unwrap();
+        ins.complete();
+        t.check_invariants().unwrap();
+    }
+}

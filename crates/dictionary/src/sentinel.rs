@@ -1,0 +1,150 @@
+//! The key universe extended with the paper's dummy keys `∞1 < ∞2`.
+//!
+//! Section 4.1: "we append two special values, `∞1 < ∞2`, to the universe
+//! `Key` of keys (where every real key is less than `∞1`) and initialize the
+//! tree so that it contains two dummy keys `∞1` and `∞2`". Both the
+//! sequential model and the concurrent tree store `SentinelKey<K>` in their
+//! nodes so the pseudocode's comparisons carry over verbatim with no special
+//! cases for small trees.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An element of `Key ∪ {∞1, ∞2}`.
+///
+/// Ordering: every `Key(k)` is less than [`SentinelKey::Inf1`], which is
+/// less than [`SentinelKey::Inf2`]; `Key` values order by `K`.
+///
+/// # Examples
+///
+/// ```
+/// use nbbst_dictionary::SentinelKey;
+///
+/// assert!(SentinelKey::Key(u64::MAX) < SentinelKey::Inf1);
+/// assert!(SentinelKey::Inf1 < SentinelKey::<u64>::Inf2);
+/// assert!(SentinelKey::Key(3u64) < SentinelKey::Key(4u64));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SentinelKey<K> {
+    /// A real key from the dictionary's universe.
+    Key(K),
+    /// The smaller dummy key; greater than every real key.
+    Inf1,
+    /// The larger dummy key; greater than everything else.
+    Inf2,
+}
+
+impl<K> SentinelKey<K> {
+    /// Returns the real key, if this is not a sentinel.
+    pub fn as_key(&self) -> Option<&K> {
+        match self {
+            SentinelKey::Key(k) => Some(k),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for `∞1` and `∞2`.
+    pub fn is_sentinel(&self) -> bool {
+        !matches!(self, SentinelKey::Key(_))
+    }
+
+    /// Rank used for ordering sentinels: keys < ∞1 < ∞2.
+    fn rank(&self) -> u8 {
+        match self {
+            SentinelKey::Key(_) => 0,
+            SentinelKey::Inf1 => 1,
+            SentinelKey::Inf2 => 2,
+        }
+    }
+}
+
+impl<K: Ord> Ord for SentinelKey<K> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (SentinelKey::Key(a), SentinelKey::Key(b)) => a.cmp(b),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl<K: Ord> PartialOrd for SentinelKey<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<K: fmt::Display> fmt::Display for SentinelKey<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SentinelKey::Key(k) => write!(f, "{k}"),
+            SentinelKey::Inf1 => f.write_str("∞1"),
+            SentinelKey::Inf2 => f.write_str("∞2"),
+        }
+    }
+}
+
+/// Compares a real key against a node key the way the paper's `Search`
+/// does (`if k < l.key then go left else go right`).
+///
+/// Real keys always compare less than sentinels, so searches for real keys
+/// drift left past the dummy spine at the top of the tree.
+pub fn real_vs_node<K: Ord>(real: &K, node: &SentinelKey<K>) -> Ordering {
+    match node {
+        SentinelKey::Key(nk) => real.cmp(nk),
+        SentinelKey::Inf1 | SentinelKey::Inf2 => Ordering::Less,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order_matches_paper() {
+        let mut keys = vec![
+            SentinelKey::Inf2,
+            SentinelKey::Key(5u64),
+            SentinelKey::Inf1,
+            SentinelKey::Key(1u64),
+        ];
+        keys.sort();
+        assert_eq!(
+            keys,
+            vec![
+                SentinelKey::Key(1),
+                SentinelKey::Key(5),
+                SentinelKey::Inf1,
+                SentinelKey::Inf2,
+            ]
+        );
+    }
+
+    #[test]
+    fn real_vs_node_sends_real_keys_left_of_sentinels() {
+        assert_eq!(real_vs_node(&u64::MAX, &SentinelKey::Inf1), Ordering::Less);
+        assert_eq!(real_vs_node(&u64::MAX, &SentinelKey::Inf2), Ordering::Less);
+        assert_eq!(
+            real_vs_node(&3u64, &SentinelKey::Key(3)),
+            Ordering::Equal
+        );
+        assert_eq!(
+            real_vs_node(&9u64, &SentinelKey::Key(3)),
+            Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(SentinelKey::Key(7u64).as_key(), Some(&7));
+        assert_eq!(SentinelKey::<u64>::Inf1.as_key(), None);
+        assert!(SentinelKey::<u64>::Inf2.is_sentinel());
+        assert!(!SentinelKey::Key(0u64).is_sentinel());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SentinelKey::Key(7u64).to_string(), "7");
+        assert_eq!(SentinelKey::<u64>::Inf1.to_string(), "∞1");
+        assert_eq!(SentinelKey::<u64>::Inf2.to_string(), "∞2");
+    }
+}

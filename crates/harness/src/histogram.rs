@@ -1,0 +1,241 @@
+//! A log-bucketed latency histogram (HDR-style, built in-crate).
+//!
+//! Buckets are `(exponent, 16 linear sub-buckets)`: values within a
+//! power-of-two band land in one of 16 evenly spaced slots, bounding the
+//! relative quantile error at ~6%. Good enough for the latency series in
+//! EXPERIMENTS.md without external dependencies.
+
+use std::fmt;
+
+const SUB_BUCKETS: usize = 16;
+const SUB_BITS: u32 = 4; // log2(SUB_BUCKETS)
+const MAX_EXP: usize = 50; // covers > 10^15 ns
+
+/// Records `u64` samples (nanoseconds, typically) with bounded relative
+/// error.
+///
+/// # Examples
+///
+/// ```
+/// use nbbst_harness::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [10, 20, 30, 40, 1_000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert!(h.percentile(50.0) >= 20 && h.percentile(50.0) <= 42);
+/// assert!(h.max() >= 1_000);
+/// ```
+#[derive(Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: vec![0; MAX_EXP * SUB_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn index(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        let exp = 63 - value.leading_zeros(); // floor(log2(value)) >= 4
+        let sub = ((value >> (exp - SUB_BITS)) as usize) & (SUB_BUCKETS - 1);
+        ((exp - SUB_BITS + 1) as usize) * SUB_BUCKETS + sub
+    }
+
+    /// Lower bound of the range covered by bucket `i` (used to report
+    /// percentiles).
+    fn bucket_floor(i: usize) -> u64 {
+        let band = i / SUB_BUCKETS;
+        let sub = (i % SUB_BUCKETS) as u64;
+        if band == 0 {
+            sub
+        } else {
+            let exp = band as u32 + SUB_BITS - 1;
+            (1u64 << exp) + (sub << (exp - SUB_BITS))
+        }
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, value: u64) {
+        let i = Self::index(value).min(self.buckets.len() - 1);
+        self.buckets[i] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges another histogram (e.g. per-thread partials).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at quantile `p` (in percent, e.g. `99.9`), with ~6%
+    /// relative error. Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_floor(i);
+            }
+        }
+        self.max
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("mean", &self.mean())
+            .field("p50", &self.percentile(50.0))
+            .field("p99", &self.percentile(99.0))
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.0} p50={} p90={} p99={} p999={} max={}",
+            self.count,
+            self.mean(),
+            self.percentile(50.0),
+            self.percentile(90.0),
+            self.percentile(99.0),
+            self.percentile(99.9),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.percentile(100.0), 15);
+    }
+
+    #[test]
+    fn percentile_relative_error_is_bounded() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for p in [10.0, 50.0, 90.0, 99.0, 99.9] {
+            let exact = (p / 100.0 * 100_000.0) as u64;
+            let approx = h.percentile(p);
+            let err = (approx as f64 - exact as f64).abs() / exact as f64;
+            assert!(err < 0.08, "p{p}: exact {exact} approx {approx} err {err}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut c = Histogram::new();
+        for v in 0..1_000u64 {
+            if v % 2 == 0 {
+                a.record(v * 17 % 4096);
+            } else {
+                b.record(v * 17 % 4096);
+            }
+            c.record(v * 17 % 4096);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        assert_eq!(a.max(), c.max());
+        assert_eq!(a.percentile(50.0), c.percentile(50.0));
+        assert_eq!(a.percentile(99.0), c.percentile(99.0));
+    }
+
+    #[test]
+    fn empty_histogram_is_harmless() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn huge_values_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+    }
+}

@@ -1,0 +1,34 @@
+//! Workload generation, measurement and checking for concurrent
+//! dictionaries.
+//!
+//! Everything the experiment suite (EXPERIMENTS.md) needs, behind the
+//! [`nbbst_dictionary::ConcurrentMap`] abstraction so the EFRB tree and
+//! every baseline are driven identically:
+//!
+//! * [`WorkloadSpec`] / [`OpMix`] / [`KeyDist`] — parameterized workloads
+//!   with deterministic per-thread streams (uniform, Zipf, hotspot).
+//! * [`run_for`] / [`run_ops`] / [`prefill`] — barrier-synchronized
+//!   multi-threaded throughput and latency measurement ([`RunResult`],
+//!   [`Histogram`]).
+//! * [`record_history`] / [`check_linearizable`] — empirical
+//!   linearizability checking (Wing–Gong with state memoization) against
+//!   the dictionary semantics.
+//! * [`Table`] / [`DataPoint`] — text/CSV/JSON-lines reporting.
+
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod histogram;
+mod linearize;
+#[cfg(test)]
+mod stats_tests;
+mod report;
+mod runner;
+mod workload;
+
+pub use histogram::Histogram;
+pub use linearize::{
+    check_linearizable, check_map_linearizable, record_history, CompletedOp,
+};
+pub use report::{DataPoint, Table};
+pub use runner::{prefill, run_for, run_ops, validate_after_run, RunResult};
+pub use workload::{KeyDist, OpGenerator, OpMix, WorkloadSpec};

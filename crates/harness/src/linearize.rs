@@ -1,0 +1,331 @@
+//! History recording and linearizability checking.
+//!
+//! The paper's main theorem is that the tree is **linearizable**: every
+//! concurrent execution is equivalent to some sequential execution that
+//! respects real-time order. This module tests that claim empirically
+//! (experiment T10): record a real concurrent history — invocation and
+//! response ticks from a global atomic counter — then search for a valid
+//! linearization with the Wing–Gong algorithm, memoized on
+//! `(linearized-set, dictionary-state)` pairs (Lowe's optimization).
+//!
+//! Keys are restricted to `< 64` so the dictionary state fits in a `u64`
+//! bitset, and histories to ≤ 64 operations so the linearized set does
+//! too; that is ample to catch real interleaving bugs when run thousands
+//! of times.
+
+use nbbst_dictionary::{ConcurrentMap, Operation, Response};
+use crate::workload::WorkloadSpec;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+/// One completed operation with its observed interval and response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletedOp {
+    /// The operation performed.
+    pub op: Operation<u64, u64>,
+    /// The observed boolean result.
+    pub response: Response,
+    /// Tick taken immediately before invoking the operation.
+    pub invoked: u64,
+    /// Tick taken immediately after it returned.
+    pub returned: u64,
+}
+
+/// Records a concurrent history: `threads` workers each run
+/// `ops_per_thread` operations from `spec` against `map`, time-stamped
+/// with a shared atomic tick counter.
+///
+/// The ticks give a total order consistent with real time: if operation A
+/// returned before operation B was invoked, then `A.returned <
+/// B.invoked`.
+pub fn record_history<M: ConcurrentMap<u64, u64> + ?Sized>(
+    map: &M,
+    spec: &WorkloadSpec,
+    threads: usize,
+    ops_per_thread: u64,
+) -> Vec<CompletedOp> {
+    let clock = AtomicU64::new(0);
+    let barrier = Barrier::new(threads);
+    let mut history = Vec::with_capacity(threads * ops_per_thread as usize);
+
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let clock = &clock;
+            let barrier = &barrier;
+            let mut gen = spec.generator(t);
+            handles.push(s.spawn(move || {
+                let mut local = Vec::with_capacity(ops_per_thread as usize);
+                barrier.wait();
+                for _ in 0..ops_per_thread {
+                    let op = gen.next_op();
+                    let invoked = clock.fetch_add(1, Ordering::SeqCst);
+                    let response = op.apply(map);
+                    let returned = clock.fetch_add(1, Ordering::SeqCst);
+                    local.push(CompletedOp {
+                        op,
+                        response,
+                        invoked,
+                        returned,
+                    });
+                }
+                local
+            }));
+        }
+        for h in handles {
+            history.extend(h.join().expect("recorder thread panicked"));
+        }
+    });
+    history
+}
+
+/// Applies `op` to a bitset dictionary state, returning the expected
+/// response and the successor state.
+fn apply_to_bitset(state: u64, op: &Operation<u64, u64>) -> (Response, u64) {
+    match op {
+        Operation::Insert(k, _) => {
+            let bit = 1u64 << k;
+            if state & bit != 0 {
+                (Response::False, state)
+            } else {
+                (Response::True, state | bit)
+            }
+        }
+        Operation::Remove(k) => {
+            let bit = 1u64 << k;
+            if state & bit != 0 {
+                (Response::True, state & !bit)
+            } else {
+                (Response::False, state)
+            }
+        }
+        Operation::Contains(k) => (Response::from(state & (1u64 << k) != 0), state),
+    }
+}
+
+/// Checks whether `history` is linearizable against the sequential
+/// dictionary semantics, starting from `initial_keys`.
+///
+/// # Errors
+///
+/// Returns a description when no linearization exists (i.e. the
+/// implementation violated linearizability).
+///
+/// # Panics
+///
+/// Panics if the history has more than 64 operations or keys ≥ 64 —
+/// limits of the bitset encoding, by construction of the recording specs.
+pub fn check_linearizable(
+    history: &[CompletedOp],
+    initial_keys: &[u64],
+) -> Result<(), String> {
+    assert!(history.len() <= 64, "history too long for the bitset checker");
+    let mut initial = 0u64;
+    for &k in initial_keys {
+        assert!(k < 64, "key {k} out of bitset range");
+        initial |= 1 << k;
+    }
+    for c in history {
+        assert!(*c.op.key() < 64, "key out of bitset range");
+    }
+
+    let n = history.len();
+    if n == 0 {
+        return Ok(());
+    }
+    let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+
+    // DFS over (linearized-mask, state) with memoized failures.
+    let mut seen: HashSet<(u64, u64)> = HashSet::new();
+    let mut stack: Vec<(u64, u64)> = vec![(0, initial)];
+    while let Some((mask, state)) = stack.pop() {
+        if mask == full {
+            return Ok(());
+        }
+        if !seen.insert((mask, state)) {
+            continue;
+        }
+        // An operation may linearize next iff it is not yet linearized and
+        // its invocation precedes every un-linearized operation's response
+        // (otherwise some pending op really finished before it started).
+        let mut min_ret = u64::MAX;
+        for (i, c) in history.iter().enumerate() {
+            if mask & (1 << i) == 0 {
+                min_ret = min_ret.min(c.returned);
+            }
+        }
+        for (i, c) in history.iter().enumerate() {
+            if mask & (1 << i) != 0 || c.invoked > min_ret {
+                continue;
+            }
+            let (expected, next_state) = apply_to_bitset(state, &c.op);
+            if expected == c.response {
+                stack.push((mask | (1 << i), next_state));
+            }
+        }
+    }
+    Err(format!(
+        "no linearization exists for this {n}-operation history: {history:#?}"
+    ))
+}
+
+/// Convenience: records `rounds` short histories and checks each,
+/// returning the first violation.
+///
+/// # Errors
+///
+/// Propagates the first linearizability violation found.
+pub fn check_map_linearizable<M, F>(
+    make_map: F,
+    spec: &WorkloadSpec,
+    threads: usize,
+    ops_per_thread: u64,
+    rounds: usize,
+) -> Result<(), String>
+where
+    M: ConcurrentMap<u64, u64>,
+    F: Fn() -> M,
+{
+    assert!(
+        threads as u64 * ops_per_thread <= 64,
+        "history must fit the bitset checker"
+    );
+    for round in 0..rounds {
+        let map = make_map();
+        let mut spec = spec.clone();
+        spec.seed = spec.seed.wrapping_add(round as u64 * 7919);
+        for k in spec.prefill_keys() {
+            map.insert(k, k);
+        }
+        let initial = spec.prefill_keys();
+        let history = record_history(&map, &spec, threads, ops_per_thread);
+        check_linearizable(&history, &initial)
+            .map_err(|e| format!("round {round}: {e}"))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbbst_dictionary::SeqMap;
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+
+    fn op(i: Operation<u64, u64>, r: bool, inv: u64, ret: u64) -> CompletedOp {
+        CompletedOp {
+            op: i,
+            response: Response::from(r),
+            invoked: inv,
+            returned: ret,
+        }
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        check_linearizable(&[], &[]).unwrap();
+    }
+
+    #[test]
+    fn sequential_history_checks_out() {
+        let h = vec![
+            op(Operation::Insert(1, 1), true, 0, 1),
+            op(Operation::Contains(1), true, 2, 3),
+            op(Operation::Remove(1), true, 4, 5),
+            op(Operation::Contains(1), false, 6, 7),
+        ];
+        check_linearizable(&h, &[]).unwrap();
+    }
+
+    #[test]
+    fn overlapping_ops_may_reorder() {
+        // Contains(1)=true overlaps Insert(1)=true: linearizable by
+        // putting the insert first.
+        let h = vec![
+            op(Operation::Insert(1, 1), true, 0, 3),
+            op(Operation::Contains(1), true, 1, 2),
+        ];
+        check_linearizable(&h, &[]).unwrap();
+    }
+
+    #[test]
+    fn real_time_order_is_enforced() {
+        // Contains(1)=true STRICTLY AFTER Remove(1)=true with nothing else:
+        // not linearizable.
+        let h = vec![
+            op(Operation::Insert(1, 1), true, 0, 1),
+            op(Operation::Remove(1), true, 2, 3),
+            op(Operation::Contains(1), true, 4, 5),
+        ];
+        assert!(check_linearizable(&h, &[]).is_err());
+    }
+
+    #[test]
+    fn lost_update_is_detected() {
+        // Two successful inserts of the same key with no intervening
+        // delete: impossible.
+        let h = vec![
+            op(Operation::Insert(2, 2), true, 0, 1),
+            op(Operation::Insert(2, 2), true, 2, 3),
+        ];
+        assert!(check_linearizable(&h, &[]).is_err());
+    }
+
+    #[test]
+    fn initial_keys_are_respected() {
+        let h = vec![op(Operation::Contains(5), true, 0, 1)];
+        assert!(check_linearizable(&h, &[]).is_err());
+        check_linearizable(&h, &[5]).unwrap();
+    }
+
+    #[test]
+    fn concurrent_double_delete_one_winner_ok() {
+        // Both deletes overlap; exactly one may win.
+        let h = vec![
+            op(Operation::Remove(3), true, 0, 4),
+            op(Operation::Remove(3), false, 1, 3),
+        ];
+        check_linearizable(&h, &[3]).unwrap();
+    }
+
+    #[test]
+    fn concurrent_double_delete_two_winners_rejected() {
+        let h = vec![
+            op(Operation::Remove(3), true, 0, 4),
+            op(Operation::Remove(3), true, 1, 3),
+        ];
+        assert!(check_linearizable(&h, &[3]).is_err());
+    }
+
+    #[test]
+    fn recorded_history_from_locked_map_is_linearizable() {
+        #[derive(Default)]
+        struct Locked(Mutex<BTreeMap<u64, u64>>);
+        impl ConcurrentMap<u64, u64> for Locked {
+            fn insert(&self, k: u64, v: u64) -> bool {
+                SeqMap::insert(&mut *self.0.lock().unwrap(), k, v)
+            }
+            fn remove(&self, k: &u64) -> bool {
+                SeqMap::remove(&mut *self.0.lock().unwrap(), k)
+            }
+            fn contains(&self, k: &u64) -> bool {
+                SeqMap::contains(&*self.0.lock().unwrap(), k)
+            }
+            fn get(&self, k: &u64) -> Option<u64> {
+                SeqMap::get(&*self.0.lock().unwrap(), k)
+            }
+            fn quiescent_len(&self) -> usize {
+                self.0.lock().unwrap().len()
+            }
+        }
+        let spec = WorkloadSpec {
+            key_range: 8,
+            mix: crate::OpMix::BALANCED,
+            dist: crate::KeyDist::Uniform,
+            prefill_fraction: 0.5,
+            seed: 42,
+        };
+        check_map_linearizable(Locked::default, &spec, 4, 12, 20).unwrap();
+    }
+}

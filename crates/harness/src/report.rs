@@ -1,0 +1,175 @@
+//! Table and CSV output for experiment binaries.
+//!
+//! Every table in EXPERIMENTS.md is printed with [`Table`]: fixed-width
+//! text for the terminal plus a CSV sibling for plotting.
+
+use serde::Serialize;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A simple right-aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use nbbst_harness::Table;
+///
+/// let mut t = Table::new(&["threads", "Mops/s"]);
+/// t.row(&["1", "4.2"]);
+/// t.row(&["8", "21.0"]);
+/// let s = t.to_string();
+/// assert!(s.contains("threads"));
+/// assert!(s.contains("21.0"));
+/// assert_eq!(t.to_csv(), "threads,Mops/s\n1,4.2\n8,21.0\n");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Appends a row of already-owned cells.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// CSV rendition (RFC-4180-lite: our cells never contain commas).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", r.join(","));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(r[c].len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        writeln!(
+            f,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        )?;
+        for r in &self.rows {
+            writeln!(f, "{}", fmt_row(r))?;
+        }
+        Ok(())
+    }
+}
+
+/// A serializable record of one experiment data point (JSON-lines
+/// friendly, for archiving raw results next to the rendered tables).
+#[derive(Debug, Clone, Serialize)]
+pub struct DataPoint {
+    /// Experiment id from DESIGN.md (e.g. "T1").
+    pub experiment: String,
+    /// Structure under test.
+    pub structure: String,
+    /// Worker threads.
+    pub threads: usize,
+    /// Key-range size.
+    pub key_range: u64,
+    /// Operation mix label.
+    pub mix: String,
+    /// Million ops/second.
+    pub mops: f64,
+    /// Free-form extra dimensions (e.g. "disjoint"/"overlapping").
+    pub variant: String,
+}
+
+impl DataPoint {
+    /// One JSON line.
+    pub fn to_json_line(&self) -> String {
+        // Hand-rolled to avoid pulling serde_json; fields are simple.
+        format!(
+            "{{\"experiment\":\"{}\",\"structure\":\"{}\",\"threads\":{},\"key_range\":{},\"mix\":\"{}\",\"mops\":{:.6},\"variant\":\"{}\"}}",
+            self.experiment, self.structure, self.threads, self.key_range, self.mix, self.mops, self.variant
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_and_csv() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["short", "1"]);
+        t.row(&["a-much-longer-name", "123456"]);
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows share the same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert_eq!(
+            t.to_csv(),
+            "name,value\nshort,1\na-much-longer-name,123456\n"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn data_point_json() {
+        let d = DataPoint {
+            experiment: "T1".into(),
+            structure: "nbbst".into(),
+            threads: 8,
+            key_range: 65536,
+            mix: "90f/5i/5d".into(),
+            mops: 12.5,
+            variant: "".into(),
+        };
+        let line = d.to_json_line();
+        assert!(line.contains("\"threads\":8"));
+        assert!(line.contains("\"mops\":12.5"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Extra cross-module tests for the harness: runner/workload/linearize
+//! interplay, exercised against an in-crate reference dictionary.
+//!
+//! (Separate file to keep each module's inline tests focused on its own
+//! unit behaviour.)
+
+#![cfg(test)]
+
+use crate::{
+    check_linearizable, prefill, record_history, run_for, run_ops, validate_after_run,
+    CompletedOp, Histogram, KeyDist, OpMix, Table, WorkloadSpec,
+};
+use nbbst_dictionary::{ConcurrentMap, Operation, Response, SeqMap};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+#[derive(Default)]
+struct Locked(Mutex<BTreeMap<u64, u64>>);
+impl ConcurrentMap<u64, u64> for Locked {
+    fn insert(&self, k: u64, v: u64) -> bool {
+        SeqMap::insert(&mut *self.0.lock().unwrap(), k, v)
+    }
+    fn remove(&self, k: &u64) -> bool {
+        SeqMap::remove(&mut *self.0.lock().unwrap(), k)
+    }
+    fn contains(&self, k: &u64) -> bool {
+        SeqMap::contains(&*self.0.lock().unwrap(), k)
+    }
+    fn get(&self, k: &u64) -> Option<u64> {
+        SeqMap::get(&*self.0.lock().unwrap(), k)
+    }
+    fn quiescent_len(&self) -> usize {
+        self.0.lock().unwrap().len()
+    }
+}
+
+#[test]
+fn prefill_then_duration_run_accounts_exactly_for_every_mix() {
+    for mix in [OpMix::READ_ONLY, OpMix::READ_HEAVY, OpMix::BALANCED, OpMix::UPDATE_ONLY] {
+        let spec = WorkloadSpec {
+            mix,
+            ..WorkloadSpec::read_heavy(128)
+        };
+        let map = Locked::default();
+        prefill(&map, &spec);
+        let r = run_for(&map, &spec, 2, Duration::from_millis(30));
+        validate_after_run(&map, &spec, &r).unwrap_or_else(|e| panic!("{mix}: {e}"));
+        if mix == OpMix::READ_ONLY {
+            assert_eq!(r.successful_inserts + r.successful_deletes, 0);
+        }
+    }
+}
+
+#[test]
+fn zipf_workload_accounts_exactly() {
+    let spec = WorkloadSpec {
+        dist: KeyDist::Zipf { theta: 0.8 },
+        mix: OpMix::BALANCED,
+        ..WorkloadSpec::read_heavy(512)
+    };
+    let map = Locked::default();
+    prefill(&map, &spec);
+    let r = run_ops(&map, &spec, 3, 2_000);
+    validate_after_run(&map, &spec, &r).unwrap();
+}
+
+#[test]
+fn recorded_histories_have_coherent_timestamps() {
+    let spec = WorkloadSpec {
+        key_range: 8,
+        mix: OpMix::BALANCED,
+        dist: KeyDist::Uniform,
+        prefill_fraction: 0.0,
+        seed: 3,
+    };
+    let map = Locked::default();
+    let history = record_history(&map, &spec, 3, 10);
+    assert_eq!(history.len(), 30);
+    let mut ticks: Vec<u64> = Vec::new();
+    for op in &history {
+        assert!(op.invoked < op.returned, "interval must be well-formed");
+        ticks.push(op.invoked);
+        ticks.push(op.returned);
+    }
+    ticks.sort_unstable();
+    ticks.dedup();
+    assert_eq!(ticks.len(), 60, "ticks are unique (one per counter bump)");
+    check_linearizable(&history, &[]).expect("locked map is trivially linearizable");
+}
+
+#[test]
+fn checker_rejects_tampered_history() {
+    let spec = WorkloadSpec {
+        key_range: 4,
+        mix: OpMix::UPDATE_ONLY,
+        dist: KeyDist::Uniform,
+        prefill_fraction: 0.0,
+        seed: 9,
+    };
+    let map = Locked::default();
+    let mut history = record_history(&map, &spec, 2, 8);
+    // Flip a successful insert's response: the history must now be
+    // rejected (or, if that op's response was already False and flipping
+    // makes it True while absent — either direction breaks something
+    // given a full 16-op update history over 4 keys).
+    let idx = history
+        .iter()
+        .position(|c| matches!(c.op, Operation::Insert(..)))
+        .expect("some insert");
+    let flipped = CompletedOp {
+        response: Response::from(!history[idx].response.as_bool()),
+        ..history[idx]
+    };
+    history[idx] = flipped;
+    assert!(
+        check_linearizable(&history, &[]).is_err(),
+        "tampered history must be rejected"
+    );
+}
+
+#[test]
+fn histogram_composes_with_runner() {
+    let spec = WorkloadSpec::read_heavy(64);
+    let map = Locked::default();
+    prefill(&map, &spec);
+    let r = run_for(&map, &spec, 2, Duration::from_millis(30));
+    let h: &Histogram = &r.latency;
+    assert!(h.count() > 0);
+    assert!(h.percentile(50.0) <= h.percentile(99.9));
+    assert!(h.min() <= h.max());
+}
+
+#[test]
+fn table_roundtrip_with_run_results() {
+    let spec = WorkloadSpec::read_heavy(64);
+    let map = Locked::default();
+    prefill(&map, &spec);
+    let r = run_ops(&map, &spec, 2, 500);
+    let mut t = Table::new(&["threads", "ops", "mops"]);
+    t.row_owned(vec![
+        r.threads.to_string(),
+        r.total_ops.to_string(),
+        format!("{:.3}", r.mops()),
+    ]);
+    let text = t.to_string();
+    assert!(text.contains("1000"), "{text}");
+    assert!(t.to_csv().lines().count() == 2);
+}
+
+#[test]
+fn fairness_is_one_for_equal_workers() {
+    let spec = WorkloadSpec::read_heavy(64);
+    let map = Locked::default();
+    let r = run_ops(&map, &spec, 4, 100);
+    assert_eq!(r.fairness(), 1.0, "run_ops gives every worker equal ops");
+}

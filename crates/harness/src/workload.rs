@@ -1,0 +1,444 @@
+//! Workload specification and generation.
+//!
+//! Experiments in EXPERIMENTS.md are parameterized by an operation mix
+//! (the find/insert/delete percentages standard since the lock-free-
+//! dictionary literature), a key range, and a key distribution (uniform,
+//! Zipf-skewed, or hotspot). Each worker thread gets an independent,
+//! deterministically seeded generator, so runs are reproducible.
+
+use nbbst_dictionary::Operation;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Operation percentages; must sum to 100.
+///
+/// # Examples
+///
+/// ```
+/// use nbbst_harness::OpMix;
+///
+/// let read_heavy = OpMix::new(90, 5, 5);
+/// assert_eq!(read_heavy.find_pct, 90);
+/// let update_only = OpMix::UPDATE_ONLY;
+/// assert_eq!(update_only.find_pct, 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpMix {
+    /// Percentage of `Find` operations.
+    pub find_pct: u8,
+    /// Percentage of `Insert` operations.
+    pub insert_pct: u8,
+    /// Percentage of `Delete` operations.
+    pub delete_pct: u8,
+}
+
+impl OpMix {
+    /// 100% finds.
+    pub const READ_ONLY: OpMix = OpMix {
+        find_pct: 100,
+        insert_pct: 0,
+        delete_pct: 0,
+    };
+    /// 90/5/5 — the classic read-heavy dictionary mix.
+    pub const READ_HEAVY: OpMix = OpMix {
+        find_pct: 90,
+        insert_pct: 5,
+        delete_pct: 5,
+    };
+    /// 50/25/25 — a balanced mix.
+    pub const BALANCED: OpMix = OpMix {
+        find_pct: 50,
+        insert_pct: 25,
+        delete_pct: 25,
+    };
+    /// 0/50/50 — updates only.
+    pub const UPDATE_ONLY: OpMix = OpMix {
+        find_pct: 0,
+        insert_pct: 50,
+        delete_pct: 50,
+    };
+
+    /// Builds a mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the percentages sum to 100.
+    pub fn new(find_pct: u8, insert_pct: u8, delete_pct: u8) -> OpMix {
+        assert_eq!(
+            find_pct as u32 + insert_pct as u32 + delete_pct as u32,
+            100,
+            "op mix must sum to 100"
+        );
+        OpMix {
+            find_pct,
+            insert_pct,
+            delete_pct,
+        }
+    }
+}
+
+impl fmt::Display for OpMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}f/{}i/{}d",
+            self.find_pct, self.insert_pct, self.delete_pct
+        )
+    }
+}
+
+/// How keys are drawn from `[0, key_range)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDist {
+    /// Uniform over the range.
+    Uniform,
+    /// Zipf-skewed with parameter `theta` (0 = uniform-like, 0.99 = the
+    /// YCSB default skew). Sampled with the Gray et al. method.
+    Zipf {
+        /// Skew parameter in `(0, 1)`.
+        theta: f64,
+    },
+    /// A fraction of the keys receives a fraction of the accesses
+    /// (e.g. 10% of keys get 90% of operations).
+    Hotspot {
+        /// Fraction of the key range that is hot, in `(0, 1]`.
+        hot_fraction: f64,
+        /// Fraction of accesses that go to the hot set, in `[0, 1]`.
+        hot_access: f64,
+    },
+}
+
+impl fmt::Display for KeyDist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeyDist::Uniform => f.write_str("uniform"),
+            KeyDist::Zipf { theta } => write!(f, "zipf({theta})"),
+            KeyDist::Hotspot {
+                hot_fraction,
+                hot_access,
+            } => write!(f, "hotspot({hot_fraction}/{hot_access})"),
+        }
+    }
+}
+
+/// A complete workload description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Keys are drawn from `[0, key_range)`.
+    pub key_range: u64,
+    /// Operation percentages.
+    pub mix: OpMix,
+    /// Key skew.
+    pub dist: KeyDist,
+    /// Fraction of the key range inserted before measurement (0.5 keeps
+    /// the dictionary near half-full in steady state for symmetric
+    /// insert/delete mixes).
+    pub prefill_fraction: f64,
+    /// Base RNG seed; thread `t` derives its own stream from it.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A reasonable default: uniform 90/5/5 over `key_range` keys,
+    /// half prefilled.
+    pub fn read_heavy(key_range: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            key_range,
+            mix: OpMix::READ_HEAVY,
+            dist: KeyDist::Uniform,
+            prefill_fraction: 0.5,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Same shape with a balanced 50/25/25 mix.
+    pub fn balanced(key_range: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            mix: OpMix::BALANCED,
+            ..WorkloadSpec::read_heavy(key_range)
+        }
+    }
+
+    /// The generator for worker thread `thread`.
+    pub fn generator(&self, thread: usize) -> OpGenerator {
+        OpGenerator::new(self.clone(), thread)
+    }
+
+    /// Keys to insert before the measured phase (deterministic in the
+    /// seed): an evenly spread `prefill_fraction` of the range.
+    pub fn prefill_keys(&self) -> Vec<u64> {
+        let n = (self.key_range as f64 * self.prefill_fraction) as u64;
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ 0xF1F1_F1F1);
+        let mut keys: Vec<u64> = Vec::with_capacity(n as usize);
+        // Sample without replacement via a partial Fisher–Yates over the
+        // range when small, or accept duplicates-filtered sampling when
+        // huge ranges make a full permutation wasteful.
+        if self.key_range <= 1 << 22 {
+            let mut all: Vec<u64> = (0..self.key_range).collect();
+            for i in 0..(n as usize) {
+                let j = rng.gen_range(i..all.len());
+                all.swap(i, j);
+            }
+            all.truncate(n as usize);
+            keys = all;
+        } else {
+            let mut seen = std::collections::HashSet::with_capacity(n as usize);
+            while (keys.len() as u64) < n {
+                let k = rng.gen_range(0..self.key_range);
+                if seen.insert(k) {
+                    keys.push(k);
+                }
+            }
+        }
+        keys
+    }
+}
+
+impl fmt::Display for WorkloadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "range=2^{:.0} mix={} dist={} prefill={}",
+            (self.key_range as f64).log2(),
+            self.mix,
+            self.dist,
+            self.prefill_fraction
+        )
+    }
+}
+
+/// Zipf sampler (Gray et al., "Quickly generating billion-record
+/// synthetic databases", SIGMOD '94 — the YCSB formulation).
+#[derive(Debug, Clone)]
+struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipfian {
+    fn new(n: u64, theta: f64) -> Zipfian {
+        assert!(n > 0 && theta > 0.0 && theta < 1.0, "0 < theta < 1");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        Zipfian {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    fn sample(&self, rng: &mut SmallRng) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
+/// Per-thread deterministic operation stream.
+#[derive(Debug, Clone)]
+pub struct OpGenerator {
+    spec: WorkloadSpec,
+    rng: SmallRng,
+    zipf: Option<Zipfian>,
+    /// Scrambles zipf ranks so the popular keys are spread over the range
+    /// (prevents accidental locality in tree shape).
+    scramble: bool,
+}
+
+impl OpGenerator {
+    fn new(spec: WorkloadSpec, thread: usize) -> OpGenerator {
+        let rng = SmallRng::seed_from_u64(
+            spec.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(thread as u64 + 1),
+        );
+        let zipf = match spec.dist {
+            KeyDist::Zipf { theta } => Some(Zipfian::new(spec.key_range, theta)),
+            _ => None,
+        };
+        OpGenerator {
+            spec,
+            rng,
+            zipf,
+            scramble: true,
+        }
+    }
+
+    /// Draws the next key.
+    pub fn next_key(&mut self) -> u64 {
+        let range = self.spec.key_range;
+        match self.spec.dist {
+            KeyDist::Uniform => self.rng.gen_range(0..range),
+            KeyDist::Zipf { .. } => {
+                let rank = self.zipf.as_ref().expect("zipf sampler").sample(&mut self.rng);
+                if self.scramble {
+                    // FNV-style scramble, stable across runs.
+                    rank.wrapping_mul(0x100_0000_01B3) % range
+                } else {
+                    rank
+                }
+            }
+            KeyDist::Hotspot {
+                hot_fraction,
+                hot_access,
+            } => {
+                let hot_n = ((range as f64 * hot_fraction) as u64).max(1);
+                if self.rng.gen::<f64>() < hot_access {
+                    self.rng.gen_range(0..hot_n)
+                } else if hot_n < range {
+                    self.rng.gen_range(hot_n..range)
+                } else {
+                    self.rng.gen_range(0..range)
+                }
+            }
+        }
+    }
+
+    /// Draws the next operation (value = key, which lets validation check
+    /// value integrity for free).
+    pub fn next_op(&mut self) -> Operation<u64, u64> {
+        let k = self.next_key();
+        let roll: u8 = self.rng.gen_range(0..100);
+        let mix = self.spec.mix;
+        if roll < mix.find_pct {
+            Operation::Contains(k)
+        } else if roll < mix.find_pct + mix.insert_pct {
+            Operation::Insert(k, k)
+        } else {
+            Operation::Remove(k)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "must sum to 100")]
+    fn bad_mix_panics() {
+        OpMix::new(50, 20, 20);
+    }
+
+    #[test]
+    fn generator_is_deterministic_per_thread() {
+        let spec = WorkloadSpec::read_heavy(1 << 10);
+        let mut a = spec.generator(3);
+        let mut b = spec.generator(3);
+        for _ in 0..100 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+        let mut c = spec.generator(4);
+        let same = (0..100).all(|_| a.next_op() == c.next_op());
+        assert!(!same, "different threads must get different streams");
+    }
+
+    #[test]
+    fn mix_ratios_are_respected() {
+        let spec = WorkloadSpec {
+            mix: OpMix::new(70, 20, 10),
+            ..WorkloadSpec::read_heavy(1 << 8)
+        };
+        let mut g = spec.generator(0);
+        let (mut f, mut i, mut d) = (0u32, 0u32, 0u32);
+        for _ in 0..20_000 {
+            match g.next_op() {
+                Operation::Contains(_) => f += 1,
+                Operation::Insert(..) => i += 1,
+                Operation::Remove(_) => d += 1,
+            }
+        }
+        let tot = 20_000f64;
+        assert!((f as f64 / tot - 0.70).abs() < 0.02, "finds {f}");
+        assert!((i as f64 / tot - 0.20).abs() < 0.02, "inserts {i}");
+        assert!((d as f64 / tot - 0.10).abs() < 0.02, "deletes {d}");
+    }
+
+    #[test]
+    fn keys_stay_in_range_for_all_dists() {
+        for dist in [
+            KeyDist::Uniform,
+            KeyDist::Zipf { theta: 0.99 },
+            KeyDist::Hotspot {
+                hot_fraction: 0.1,
+                hot_access: 0.9,
+            },
+        ] {
+            let spec = WorkloadSpec {
+                dist,
+                ..WorkloadSpec::read_heavy(1000)
+            };
+            let mut g = spec.generator(0);
+            for _ in 0..5_000 {
+                assert!(g.next_key() < 1000, "{dist}");
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_is_actually_skewed() {
+        let spec = WorkloadSpec {
+            dist: KeyDist::Zipf { theta: 0.99 },
+            ..WorkloadSpec::read_heavy(1 << 16)
+        };
+        let mut g = spec.generator(0);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..50_000 {
+            *counts.entry(g.next_key()).or_insert(0u32) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        // Under uniform, the max bucket over 2^16 keys would be ~single
+        // digits; Zipf 0.99 concentrates thousands on the top key.
+        assert!(max > 1_000, "zipf max bucket only {max}");
+    }
+
+    #[test]
+    fn hotspot_concentrates_access() {
+        let spec = WorkloadSpec {
+            dist: KeyDist::Hotspot {
+                hot_fraction: 0.1,
+                hot_access: 0.9,
+            },
+            ..WorkloadSpec::read_heavy(1000)
+        };
+        let mut g = spec.generator(0);
+        let hot = (0..20_000).filter(|_| g.next_key() < 100).count();
+        let frac = hot as f64 / 20_000.0;
+        assert!((frac - 0.9).abs() < 0.02, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn prefill_keys_unique_and_in_range() {
+        let spec = WorkloadSpec::read_heavy(1 << 12);
+        let keys = spec.prefill_keys();
+        assert_eq!(keys.len(), 1 << 11);
+        let mut dedup = keys.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), keys.len());
+        assert!(keys.iter().all(|&k| k < (1 << 12)));
+    }
+
+    #[test]
+    fn prefill_is_deterministic() {
+        let spec = WorkloadSpec::read_heavy(1 << 10);
+        assert_eq!(spec.prefill_keys(), spec.prefill_keys());
+    }
+}

@@ -1,0 +1,68 @@
+//! Sequential reference models for the `nbbst` workspace.
+//!
+//! Two models with identical dictionary semantics but very different
+//! representations:
+//!
+//! * [`LeafBst`] — the paper's leaf-oriented BST (Figures 1, 2 and 6) in
+//!   plain owned-box form. The concurrent EFRB tree must be
+//!   indistinguishable from this structure under any linearization, and its
+//!   update *shapes* must match this structure's node-for-node.
+//! * [`VecModel`] — a sorted vector whose correctness is immediate; used to
+//!   cross-check `LeafBst` and as the state inside the linearizability
+//!   checker.
+//!
+//! Both implement [`nbbst_dictionary::SeqMap`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod leaf_bst;
+mod vec_model;
+
+pub use leaf_bst::{Iter, LeafBst, Node};
+pub use vec_model::VecModel;
+
+#[cfg(test)]
+mod cross_check {
+    use super::*;
+    use nbbst_dictionary::{Operation, SeqMap};
+    use proptest::prelude::*;
+
+    fn op_strategy() -> impl Strategy<Value = Operation<u8, u8>> {
+        prop_oneof![
+            (any::<u8>(), any::<u8>()).prop_map(|(k, v)| Operation::Insert(k % 32, v)),
+            any::<u8>().prop_map(|k| Operation::Remove(k % 32)),
+            any::<u8>().prop_map(|k| Operation::Contains(k % 32)),
+        ]
+    }
+
+    proptest! {
+        /// The paper-shaped tree and the sorted vector agree on every
+        /// response and on the final key set, for arbitrary op sequences.
+        #[test]
+        fn leaf_bst_equals_vec_model(ops in proptest::collection::vec(op_strategy(), 0..400)) {
+            let mut bst: LeafBst<u8, u8> = LeafBst::new();
+            let mut vec: VecModel<u8, u8> = VecModel::new();
+            for op in ops {
+                prop_assert_eq!(op.apply_seq(&mut bst), op.apply_seq(&mut vec));
+            }
+            prop_assert_eq!(bst.keys().collect::<Vec<_>>(), vec.keys());
+            prop_assert_eq!(SeqMap::len(&bst), SeqMap::len(&vec));
+            bst.check_invariants().unwrap();
+        }
+
+        /// Values survive unrelated churn.
+        #[test]
+        fn values_are_stable(ops in proptest::collection::vec(op_strategy(), 0..200)) {
+            let mut bst: LeafBst<u8, u8> = LeafBst::new();
+            let mut vec: VecModel<u8, u8> = VecModel::new();
+            for op in ops {
+                op.apply_seq(&mut bst);
+                op.apply_seq(&mut vec);
+                for k in 0..32u8 {
+                    prop_assert_eq!(SeqMap::get(&bst, &k), SeqMap::get(&vec, &k));
+                }
+            }
+        }
+    }
+}

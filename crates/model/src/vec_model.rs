@@ -1,0 +1,141 @@
+//! A trivially-correct sorted-vector dictionary.
+//!
+//! Used to cross-check [`LeafBst`](crate::LeafBst) in property tests and as
+//! the state representation inside the linearizability checker (a compact,
+//! hashable dictionary state).
+
+use nbbst_dictionary::SeqMap;
+use std::fmt;
+
+/// A dictionary stored as a sorted `Vec<(K, V)>`.
+///
+/// Every operation is implemented with a binary search, making the
+/// semantics obviously correct at the cost of `O(n)` updates.
+///
+/// # Examples
+///
+/// ```
+/// use nbbst_model::VecModel;
+/// use nbbst_dictionary::SeqMap;
+///
+/// let mut m = VecModel::new();
+/// assert!(m.insert(2u8, 'b'));
+/// assert!(m.insert(1, 'a'));
+/// assert_eq!(m.keys(), vec![1, 2]);
+/// assert!(m.remove(&1));
+/// assert!(!m.remove(&1));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct VecModel<K, V> {
+    entries: Vec<(K, V)>,
+}
+
+impl<K: Ord, V> VecModel<K, V> {
+    /// Creates an empty model.
+    pub fn new() -> VecModel<K, V> {
+        VecModel {
+            entries: Vec::new(),
+        }
+    }
+
+    fn position(&self, key: &K) -> Result<usize, usize> {
+        self.entries.binary_search_by(|(k, _)| k.cmp(key))
+    }
+
+    /// The sorted keys currently stored.
+    pub fn keys(&self) -> Vec<K>
+    where
+        K: Clone,
+    {
+        self.entries.iter().map(|(k, _)| k.clone()).collect()
+    }
+
+    /// Iterates over the stored entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = &(K, V)> {
+        self.entries.iter()
+    }
+}
+
+impl<K: Ord, V> SeqMap<K, V> for VecModel<K, V> {
+    fn insert(&mut self, key: K, value: V) -> bool {
+        match self.position(&key) {
+            Ok(_) => false,
+            Err(i) => {
+                self.entries.insert(i, (key, value));
+                true
+            }
+        }
+    }
+
+    fn remove(&mut self, key: &K) -> bool {
+        match self.position(key) {
+            Ok(i) => {
+                self.entries.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        self.position(key).is_ok()
+    }
+
+    fn get(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.position(key).ok().map(|i| self.entries[i].1.clone())
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+impl<K: Ord, V> FromIterator<(K, V)> for VecModel<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut m = VecModel::new();
+        for (k, v) in iter {
+            SeqMap::insert(&mut m, k, v);
+        }
+        m
+    }
+}
+
+impl<K: fmt::Debug, V: fmt::Debug> fmt::Debug for VecModel<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map()
+            .entries(self.entries.iter().map(|(k, v)| (k, v)))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_insertion_order() {
+        let mut m = VecModel::new();
+        for k in [3u64, 1, 2] {
+            assert!(SeqMap::insert(&mut m, k, ()));
+        }
+        assert_eq!(m.keys(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut m = VecModel::new();
+        assert!(SeqMap::insert(&mut m, 1u8, 'a'));
+        assert!(!SeqMap::insert(&mut m, 1, 'b'));
+        assert_eq!(SeqMap::get(&m, &1), Some('a'));
+    }
+
+    #[test]
+    fn from_iter_dedups() {
+        let m: VecModel<u8, u8> = [(1, 1), (1, 2), (2, 2)].into_iter().collect();
+        assert_eq!(SeqMap::len(&m), 2);
+        assert_eq!(SeqMap::get(&m, &1), Some(1));
+    }
+}

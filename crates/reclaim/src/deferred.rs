@@ -1,0 +1,113 @@
+//! Type-erased deferred destruction of heap allocations.
+//!
+//! A [`Deferred`] is a pending `drop(Box::from_raw(ptr))` for some concrete
+//! type, erased to a `(data pointer, drop function)` pair so that garbage
+//! bags can hold destructions of heterogeneous types without allocating a
+//! boxed closure per retired object.
+
+use std::fmt;
+
+/// A single pending destruction.
+///
+/// Created via [`Deferred::destroy_boxed`]; executed exactly once via
+/// [`Deferred::execute`] (or on drop if never executed — bags that are
+/// themselves dropped still release their garbage).
+pub(crate) struct Deferred {
+    data: *mut (),
+    drop_fn: unsafe fn(*mut ()),
+    executed: bool,
+}
+
+// SAFETY: a `Deferred` is only ever created from an owning pointer to a heap
+// allocation that has been unlinked from any shared structure; executing it
+// on another thread is the whole point of deferred reclamation. The epochs
+// machinery guarantees exclusive access at execution time.
+unsafe impl Send for Deferred {}
+
+impl Deferred {
+    /// Defers `drop(Box::from_raw(ptr))`.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must have been produced by `Box::into_raw` for the same type
+    /// `T`, must not be used again by the caller, and no other `Deferred`
+    /// may exist for it.
+    pub(crate) unsafe fn destroy_boxed<T>(ptr: *mut T) -> Deferred {
+        unsafe fn drop_box<T>(p: *mut ()) {
+            drop(Box::from_raw(p.cast::<T>()));
+        }
+        Deferred {
+            data: ptr.cast(),
+            drop_fn: drop_box::<T>,
+            executed: false,
+        }
+    }
+
+    /// Runs the deferred destruction now.
+    pub(crate) fn execute(mut self) {
+        self.run();
+    }
+
+    fn run(&mut self) {
+        if !self.executed {
+            self.executed = true;
+            // SAFETY: constructor contract — `data` is an un-aliased owning
+            // pointer matching `drop_fn`'s type, executed at most once.
+            unsafe { (self.drop_fn)(self.data) }
+        }
+    }
+}
+
+impl Drop for Deferred {
+    fn drop(&mut self) {
+        self.run();
+    }
+}
+
+impl fmt::Debug for Deferred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Deferred")
+            .field("data", &self.data)
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    struct Counted(Arc<AtomicUsize>);
+    impl Drop for Counted {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn execute_runs_destructor_once() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let ptr = Box::into_raw(Box::new(Counted(drops.clone())));
+        let d = unsafe { Deferred::destroy_boxed(ptr) };
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        d.execute();
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn dropping_unexecuted_deferred_still_frees() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let ptr = Box::into_raw(Box::new(Counted(drops.clone())));
+        let d = unsafe { Deferred::destroy_boxed(ptr) };
+        drop(d);
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn deferred_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Deferred>();
+    }
+}

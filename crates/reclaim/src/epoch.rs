@@ -1,0 +1,878 @@
+//! Epoch-based reclamation (EBR).
+//!
+//! The paper assumes a garbage-collected environment: "it would be more
+//! practical to reallocate the memory locations that are no longer in use.
+//! Such a scheme should not introduce any problems, as long as a memory
+//! location is not reallocated while any process could reach that location
+//! by following a chain of pointers" (Section 4.1). This module provides
+//! exactly that guarantee, with the classic three-epoch scheme (Fraser's
+//! thesis; the protocol here mirrors `crossbeam-epoch`, reimplemented from
+//! scratch):
+//!
+//! * A [`Collector`] owns a global epoch counter and a registry of
+//!   *participants* (one per `(thread, collector)` pair).
+//! * Before touching shared pointers a thread *pins* itself ([`Guard`]),
+//!   publishing the epoch it observed.
+//! * Removed objects are *retired* ([`Guard::defer_destroy`]) into a bag
+//!   sealed with the retiring thread's pinned epoch `e`.
+//! * The global epoch advances from `E` to `E+1` only when every pinned
+//!   participant has observed `E`; hence pinned participants always sit at
+//!   `E` or `E-1`, and a bag sealed at epoch `e` is freed once the global
+//!   epoch reaches `e + 2` — by which point no thread that could have
+//!   observed a pointer into the bag is still pinned.
+//!
+//! Why this discharges the paper's ABA obligations is argued in DESIGN.md
+//! §2: every read-then-CAS of a tree word happens under a single guard, and
+//! no address can be freed (hence recycled, hence made to repeat an old word
+//! value) while a guard that observed it is live.
+
+use crate::deferred::Deferred;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// How many pins between housekeeping passes (epoch-advance attempt plus
+/// local/orphan collection).
+const PINS_BETWEEN_COLLECT: u64 = 32;
+
+/// How many retirements force an early housekeeping pass.
+const DEFERS_BETWEEN_COLLECT: usize = 64;
+
+/// One registered `(thread, collector)` slot in the global participant list.
+///
+/// `state` is `0` when not pinned, else `(epoch << 1) | 1`.
+struct Participant {
+    state: AtomicU64,
+    claimed: AtomicBool,
+    next: AtomicPtr<Participant>,
+}
+
+impl Participant {
+    const UNPINNED: u64 = 0;
+
+    fn pinned_state(epoch: u64) -> u64 {
+        (epoch << 1) | 1
+    }
+
+    fn decode(state: u64) -> Option<u64> {
+        if state & 1 == 1 {
+            Some(state >> 1)
+        } else {
+            None
+        }
+    }
+}
+
+/// A bag of retirements sealed with the epoch at which they were retired.
+struct Bag {
+    epoch: u64,
+    items: Vec<Deferred>,
+}
+
+/// Counters describing reclamation activity; see [`Collector::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReclaimStats {
+    /// Objects handed to `defer_destroy` so far.
+    pub retired: u64,
+    /// Objects whose destructor has actually run.
+    pub freed: u64,
+    /// Successful global epoch advances.
+    pub epoch_advances: u64,
+    /// Current global epoch.
+    pub global_epoch: u64,
+    /// Objects currently waiting in orphaned (exited-thread) bags.
+    pub orphaned: u64,
+}
+
+/// Shared collector state.
+struct Global {
+    epoch: AtomicU64,
+    participants: AtomicPtr<Participant>,
+    /// Garbage abandoned by exiting threads, still awaiting its epoch.
+    orphans: Mutex<Vec<Bag>>,
+    /// Number of live `Collector` clones (not handles); when it reaches
+    /// zero, cached thread-local handles know to retire themselves.
+    collectors: AtomicUsize,
+    /// Leak instead of freeing (the paper's "always allocate fresh
+    /// memory" model); for ablation experiments only.
+    leaky: bool,
+    retired: AtomicU64,
+    freed: AtomicU64,
+    advances: AtomicU64,
+}
+
+impl Global {
+    fn new(leaky: bool) -> Global {
+        Global {
+            epoch: AtomicU64::new(0),
+            participants: AtomicPtr::new(std::ptr::null_mut()),
+            orphans: Mutex::new(Vec::new()),
+            collectors: AtomicUsize::new(1),
+            leaky,
+            retired: AtomicU64::new(0),
+            freed: AtomicU64::new(0),
+            advances: AtomicU64::new(0),
+        }
+    }
+
+    /// Claims an existing unclaimed participant record or registers a new
+    /// one. Records are only deallocated when the `Global` itself drops.
+    fn acquire_record(&self) -> *const Participant {
+        // Try to reuse a record released by an exited thread.
+        let mut cur = self.participants.load(Ordering::Acquire);
+        while let Some(p) = unsafe { cur.as_ref() } {
+            if p.claimed
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return cur;
+            }
+            cur = p.next.load(Ordering::Acquire);
+        }
+        // None free: push a fresh record (Treiber push).
+        let rec = Box::into_raw(Box::new(Participant {
+            state: AtomicU64::new(Participant::UNPINNED),
+            claimed: AtomicBool::new(true),
+            next: AtomicPtr::new(std::ptr::null_mut()),
+        }));
+        let mut head = self.participants.load(Ordering::Acquire);
+        loop {
+            unsafe { (*rec).next.store(head, Ordering::Relaxed) };
+            match self.participants.compare_exchange(
+                head,
+                rec,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return rec,
+                Err(h) => head = h,
+            }
+        }
+    }
+
+    /// Attempts to advance the global epoch by one; returns the epoch that
+    /// is current after the attempt.
+    fn try_advance(&self) -> u64 {
+        let global_epoch = self.epoch.load(Ordering::Relaxed);
+        std::sync::atomic::fence(Ordering::SeqCst);
+
+        // The epoch may only advance if every *pinned* participant has
+        // observed the current epoch.
+        let mut cur = self.participants.load(Ordering::Acquire);
+        while let Some(p) = unsafe { cur.as_ref() } {
+            let state = p.state.load(Ordering::Relaxed);
+            if let Some(e) = Participant::decode(state) {
+                if e != global_epoch {
+                    return global_epoch;
+                }
+            }
+            cur = p.next.load(Ordering::Acquire);
+        }
+        std::sync::atomic::fence(Ordering::Acquire);
+
+        // Multiple threads may race here; at most one CAS per step wins and
+        // losers observe the new epoch on their next pass.
+        if self
+            .epoch
+            .compare_exchange(
+                global_epoch,
+                global_epoch + 1,
+                Ordering::Release,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+        {
+            self.advances.fetch_add(1, Ordering::Relaxed);
+            global_epoch + 1
+        } else {
+            global_epoch
+        }
+    }
+
+    /// Frees orphaned garbage whose epoch is at least two behind `epoch`.
+    /// Uses `try_lock` so the hot path never blocks on the orphan list.
+    fn collect_orphans(&self, epoch: u64) {
+        if let Ok(mut orphans) = self.orphans.try_lock() {
+            let mut freed = 0u64;
+            orphans.retain_mut(|bag| {
+                if bag.epoch + 2 <= epoch {
+                    freed += bag.items.len() as u64;
+                    for d in bag.items.drain(..) {
+                        d.execute();
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+            if freed > 0 {
+                self.freed.fetch_add(freed, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl Drop for Global {
+    fn drop(&mut self) {
+        // No handles (hence no threads) reference this global any more:
+        // free all participant records and any remaining orphaned garbage.
+        let mut cur = *self.participants.get_mut();
+        while !cur.is_null() {
+            let boxed = unsafe { Box::from_raw(cur) };
+            cur = boxed.next.load(Ordering::Relaxed);
+        }
+        // Orphan `Deferred`s run their destructor on drop.
+        if let Ok(orphans) = self.orphans.get_mut() {
+            orphans.clear();
+        }
+    }
+}
+
+/// An epoch-based garbage collector for one (or more) lock-free structures.
+///
+/// Cloning a `Collector` is cheap and yields a handle to the same underlying
+/// collector.
+///
+/// # Examples
+///
+/// ```
+/// use nbbst_reclaim::{Atomic, Collector, Owned};
+/// use std::sync::atomic::Ordering;
+///
+/// let collector = Collector::new();
+/// let slot = Atomic::new(1u64);
+///
+/// let guard = collector.pin();
+/// let old = slot.load(Ordering::SeqCst, &guard);
+/// slot.compare_exchange(old, Owned::new(2u64), Ordering::SeqCst, Ordering::SeqCst, &guard)
+///     .expect("uncontended CAS succeeds");
+/// // The old value is unlinked; defer its destruction until no pinned
+/// // thread can still hold a reference.
+/// unsafe { guard.defer_destroy(old) };
+/// drop(guard);
+/// # unsafe { drop(slot.into_owned()) };
+/// ```
+pub struct Collector {
+    global: Arc<Global>,
+}
+
+impl Collector {
+    /// Creates a fresh collector with epoch `0` and no participants.
+    pub fn new() -> Collector {
+        Collector {
+            global: Arc::new(Global::new(false)),
+        }
+    }
+
+    /// Creates a collector that **intentionally leaks** every retirement
+    /// instead of freeing it — the paper's literal memory model ("nodes
+    /// and Info records are always allocated new memory locations",
+    /// Section 4.1), where ABA is impossible because addresses never
+    /// recycle.
+    ///
+    /// For ablation experiments measuring reclamation overhead (T8); the
+    /// leak is bounded only by the process lifetime. Never use in
+    /// production code.
+    pub fn new_leaky() -> Collector {
+        Collector {
+            global: Arc::new(Global::new(true)),
+        }
+    }
+
+    /// Whether this collector leaks instead of freeing (see
+    /// [`Collector::new_leaky`]).
+    pub fn is_leaky(&self) -> bool {
+        self.global.leaky
+    }
+
+    /// Registers the calling thread, returning a reusable [`LocalHandle`].
+    ///
+    /// Prefer [`Collector::pin`] unless you want to amortize the (small)
+    /// thread-local lookup yourself.
+    pub fn register(&self) -> LocalHandle {
+        let record = self.global.acquire_record();
+        let inner = Box::into_raw(Box::new(LocalInner {
+            global: Arc::clone(&self.global),
+            record,
+            guard_count: Cell::new(0),
+            handle_count: Cell::new(1),
+            pin_count: Cell::new(0),
+            defer_count: Cell::new(0),
+            local_epoch: Cell::new(0),
+            bags: RefCell::new(VecDeque::new()),
+        }));
+        LocalHandle { inner }
+    }
+
+    /// Pins the current thread using a per-thread cached handle.
+    ///
+    /// The first call on a given thread registers it; subsequent calls reuse
+    /// the registration. Handles for collectors that no longer exist are
+    /// retired lazily.
+    pub fn pin(&self) -> Guard {
+        CACHED_HANDLES.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            // Purge handles whose collector is gone (all `Collector` clones
+            // dropped); their garbage migrates to the orphan list.
+            cache.retain(|h| unsafe { &*h.inner }.global.collectors.load(Ordering::Relaxed) > 0);
+            if let Some(h) = cache
+                .iter()
+                .find(|h| Arc::ptr_eq(&unsafe { &*h.inner }.global, &self.global))
+            {
+                return h.pin();
+            }
+            let handle = self.register();
+            let guard = handle.pin();
+            cache.push(handle);
+            guard
+        })
+    }
+
+    /// Forces an epoch-advance attempt plus an orphan collection pass.
+    ///
+    /// Useful in tests and teardown paths; never required for correctness.
+    pub fn flush(&self) {
+        let e = self.global.try_advance();
+        self.global.collect_orphans(e);
+    }
+
+    /// Repeatedly flushes until everything retired so far has been freed,
+    /// or `attempts` passes elapse. Returns whether it fully drained.
+    ///
+    /// Note that garbage abandoned by an *exiting* thread becomes
+    /// collectable only once that thread's TLS destructors have run, which
+    /// may be slightly after the thread becomes joinable — this helper
+    /// yields between passes to absorb exactly that window. Tests and
+    /// teardown paths use it; correctness never requires it.
+    pub fn try_drain(&self, attempts: usize) -> bool {
+        for _ in 0..attempts {
+            let s = self.stats();
+            if s.retired == s.freed {
+                return true;
+            }
+            self.flush();
+            drop(self.pin());
+            std::thread::yield_now();
+        }
+        let s = self.stats();
+        s.retired == s.freed
+    }
+
+    /// Current reclamation counters.
+    pub fn stats(&self) -> ReclaimStats {
+        let orphaned = self
+            .global
+            .orphans
+            .try_lock()
+            .map(|o| o.iter().map(|b| b.items.len() as u64).sum())
+            .unwrap_or(0);
+        ReclaimStats {
+            retired: self.global.retired.load(Ordering::Relaxed),
+            freed: self.global.freed.load(Ordering::Relaxed),
+            epoch_advances: self.global.advances.load(Ordering::Relaxed),
+            global_epoch: self.global.epoch.load(Ordering::Relaxed),
+            orphaned,
+        }
+    }
+}
+
+impl Clone for Collector {
+    fn clone(&self) -> Self {
+        self.global.collectors.fetch_add(1, Ordering::Relaxed);
+        Collector {
+            global: Arc::clone(&self.global),
+        }
+    }
+}
+
+impl Drop for Collector {
+    fn drop(&mut self) {
+        self.global.collectors.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Collector::new()
+    }
+}
+
+impl fmt::Debug for Collector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Collector")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+thread_local! {
+    static CACHED_HANDLES: RefCell<Vec<LocalHandle>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Thread-local state for one `(thread, collector)` registration.
+///
+/// Shared between the owning [`LocalHandle`] and any outstanding [`Guard`]s
+/// via manual reference counting; freed when both counts reach zero.
+struct LocalInner {
+    global: Arc<Global>,
+    record: *const Participant,
+    guard_count: Cell<usize>,
+    handle_count: Cell<usize>,
+    pin_count: Cell<u64>,
+    defer_count: Cell<usize>,
+    /// Epoch this thread observed at its current pin (valid while pinned).
+    local_epoch: Cell<u64>,
+    bags: RefCell<VecDeque<Bag>>,
+}
+
+impl LocalInner {
+    fn record(&self) -> &Participant {
+        // SAFETY: participant records live until `Global` drops, and we
+        // hold an `Arc<Global>`.
+        unsafe { &*self.record }
+    }
+
+    fn pin(&self) {
+        let count = self.guard_count.get();
+        self.guard_count.set(count + 1);
+        if count == 0 {
+            let epoch = self.global.epoch.load(Ordering::Relaxed);
+            self.record()
+                .state
+                .store(Participant::pinned_state(epoch), Ordering::Relaxed);
+            // Publish the pin before any subsequent shared-memory access;
+            // pairs with the SeqCst fence in `Global::try_advance`.
+            std::sync::atomic::fence(Ordering::SeqCst);
+            self.local_epoch.set(epoch);
+
+            let pins = self.pin_count.get() + 1;
+            self.pin_count.set(pins);
+            if pins.is_multiple_of(PINS_BETWEEN_COLLECT) {
+                self.housekeep();
+            } else {
+                // Cheap opportunistic collection: if the oldest local bag is
+                // already two epochs stale, free it without a full
+                // housekeeping pass (no participant scan needed).
+                let front_is_stale = self
+                    .bags
+                    .borrow()
+                    .front()
+                    .is_some_and(|b| b.epoch + 2 <= epoch);
+                if front_is_stale {
+                    self.collect(epoch);
+                }
+            }
+        }
+    }
+
+    fn unpin(&self) {
+        let count = self.guard_count.get();
+        debug_assert!(count > 0, "unpin without matching pin");
+        self.guard_count.set(count - 1);
+        if count == 1 {
+            self.record()
+                .state
+                .store(Participant::UNPINNED, Ordering::Release);
+        }
+    }
+
+    fn defer(&self, d: Deferred) {
+        debug_assert!(self.guard_count.get() > 0, "defer while not pinned");
+        if self.global.leaky {
+            // The paper's model: never reuse memory. Forget (leak) the
+            // destruction entirely.
+            std::mem::forget(d);
+            self.global.retired.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let epoch = self.local_epoch.get();
+        let mut bags = self.bags.borrow_mut();
+        match bags.back_mut() {
+            Some(bag) if bag.epoch == epoch => bag.items.push(d),
+            _ => bags.push_back(Bag {
+                epoch,
+                items: vec![d],
+            }),
+        }
+        drop(bags);
+        self.global.retired.fetch_add(1, Ordering::Relaxed);
+        let defers = self.defer_count.get() + 1;
+        self.defer_count.set(defers);
+        if defers.is_multiple_of(DEFERS_BETWEEN_COLLECT) {
+            self.housekeep();
+        }
+    }
+
+    /// Advance the epoch if possible and free every local/orphan bag that is
+    /// at least two epochs old.
+    fn housekeep(&self) {
+        let epoch = self.global.try_advance();
+        self.collect(epoch);
+        self.global.collect_orphans(epoch);
+    }
+
+    fn collect(&self, epoch: u64) {
+        let mut bags = self.bags.borrow_mut();
+        let mut freed = 0u64;
+        while let Some(front) = bags.front() {
+            if front.epoch + 2 <= epoch {
+                let bag = bags.pop_front().expect("front exists");
+                freed += bag.items.len() as u64;
+                for d in bag.items {
+                    d.execute();
+                }
+            } else {
+                break;
+            }
+        }
+        if freed > 0 {
+            self.global.freed.fetch_add(freed, Ordering::Relaxed);
+        }
+    }
+
+    /// Called when the last handle/guard reference drops: abandon remaining
+    /// garbage to the orphan list and release the participant record.
+    fn finalize(&self) {
+        debug_assert_eq!(self.guard_count.get(), 0);
+        debug_assert_eq!(self.handle_count.get(), 0);
+        let mut bags = self.bags.borrow_mut();
+        if !bags.is_empty() {
+            let mut orphans = self
+                .global
+                .orphans
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            orphans.extend(bags.drain(..));
+        }
+        drop(bags);
+        let record = self.record();
+        record.state.store(Participant::UNPINNED, Ordering::Release);
+        record.claimed.store(false, Ordering::Release);
+    }
+}
+
+fn release_inner(inner: *mut LocalInner) {
+    let r = unsafe { &*inner };
+    if r.guard_count.get() == 0 && r.handle_count.get() == 0 {
+        r.finalize();
+        drop(unsafe { Box::from_raw(inner) });
+    }
+}
+
+/// A per-thread registration with a [`Collector`].
+///
+/// Not `Send`/`Sync`: each thread registers for itself. Obtained from
+/// [`Collector::register`]; most users go through [`Collector::pin`]
+/// instead, which caches one handle per thread.
+pub struct LocalHandle {
+    inner: *mut LocalInner,
+}
+
+impl LocalHandle {
+    /// Pins the thread; shared pointers loaded under the returned [`Guard`]
+    /// remain valid until it drops.
+    pub fn pin(&self) -> Guard {
+        let inner = unsafe { &*self.inner };
+        inner.pin();
+        Guard { local: self.inner }
+    }
+
+    /// Whether the thread currently holds at least one guard.
+    pub fn is_pinned(&self) -> bool {
+        unsafe { &*self.inner }.guard_count.get() > 0
+    }
+}
+
+impl Drop for LocalHandle {
+    fn drop(&mut self) {
+        let inner = unsafe { &*self.inner };
+        inner.handle_count.set(inner.handle_count.get() - 1);
+        release_inner(self.inner);
+    }
+}
+
+impl fmt::Debug for LocalHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LocalHandle")
+            .field("pinned", &self.is_pinned())
+            .finish()
+    }
+}
+
+/// An RAII pin: while any `Guard` for a thread is live, no object retired
+/// after the pin can be freed, so [`Shared`](crate::Shared) pointers loaded
+/// under the guard stay dereferenceable.
+///
+/// Guards nest; only the outermost pin/unpin touches shared state.
+pub struct Guard {
+    /// Null for the unprotected guard (see [`unprotected`]).
+    local: *mut LocalInner,
+}
+
+impl Guard {
+    /// Defers destruction of the pointee until no pinned thread can hold a
+    /// reference to it.
+    ///
+    /// # Safety
+    ///
+    /// * `shared` must point to a live heap allocation produced by
+    ///   [`Owned::new`](crate::Owned::new) / [`Atomic::new`](crate::Atomic::new).
+    /// * The object must already be *unlinked*: unreachable for threads that
+    ///   pin after this call.
+    /// * `defer_destroy` must be called at most once per allocation.
+    pub unsafe fn defer_destroy<T>(&self, shared: crate::Shared<'_, T>) {
+        debug_assert!(!shared.is_null(), "defer_destroy on null pointer");
+        let d = Deferred::destroy_boxed(shared.as_raw() as *mut T);
+        match self.local.as_ref() {
+            Some(local) => local.defer(d),
+            // Unprotected guard: caller vouches for exclusive access, so the
+            // destructor may run immediately.
+            None => d.execute(),
+        }
+    }
+
+    /// Temporarily unpins the thread, runs `f`, and repins.
+    ///
+    /// Any `Shared` loaded before this call must not be used afterwards;
+    /// the borrow checker enforces this because the guard is mutably
+    /// borrowed for the duration.
+    pub fn repin_after<F: FnOnce() -> R, R>(&mut self, f: F) -> R {
+        if let Some(local) = unsafe { self.local.as_ref() } {
+            // Only sound to fully unpin when this is the sole guard.
+            assert_eq!(
+                local.guard_count.get(),
+                1,
+                "repin_after requires the outermost guard"
+            );
+            local.unpin();
+            let result = f();
+            local.pin();
+            result
+        } else {
+            f()
+        }
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        if !self.local.is_null() {
+            let inner = unsafe { &*self.local };
+            inner.unpin();
+            release_inner(self.local);
+        }
+    }
+}
+
+impl fmt::Debug for Guard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.local.is_null() {
+            "Guard(unprotected)"
+        } else {
+            "Guard"
+        })
+    }
+}
+
+/// Returns a guard that performs no pinning.
+///
+/// # Safety
+///
+/// Callers must guarantee that no other thread can concurrently access the
+/// data structure (e.g. inside `Drop` of the owning structure, or during
+/// single-threaded construction). `defer_destroy` on this guard destroys
+/// immediately.
+pub unsafe fn unprotected() -> Guard {
+    Guard {
+        local: std::ptr::null_mut(),
+    }
+}
+
+// `Guard` and `LocalHandle` hold raw pointers to thread-local state, so the
+// compiler already refuses to `Send`/`Sync` them — which is required:
+// moving a guard to another thread would unpin the wrong participant.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct CountDrop(Arc<AtomicUsize>);
+    impl Drop for CountDrop {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn retire_one(collector: &Collector, drops: &Arc<AtomicUsize>) {
+        let guard = collector.pin();
+        let a = crate::Atomic::new(CountDrop(drops.clone()));
+        let s = a.load(Ordering::SeqCst, &guard);
+        unsafe { guard.defer_destroy(s) };
+    }
+
+    #[test]
+    fn garbage_is_eventually_freed() {
+        let collector = Collector::new();
+        let drops = Arc::new(AtomicUsize::new(0));
+        for _ in 0..1_000 {
+            retire_one(&collector, &drops);
+        }
+        // Force advancement from an otherwise idle state.
+        for _ in 0..10 {
+            collector.flush();
+            let guard = collector.pin();
+            drop(guard);
+        }
+        // All bags should be at least two epochs old by now except possibly
+        // the most recent ones.
+        assert!(drops.load(Ordering::SeqCst) > 900, "freed {}", drops.load(Ordering::SeqCst));
+        let stats = collector.stats();
+        assert_eq!(stats.retired, 1_000);
+        assert!(stats.epoch_advances > 0);
+    }
+
+    #[test]
+    fn nothing_freed_while_a_guard_from_before_retirement_is_held() {
+        let collector = Collector::new();
+        let drops = Arc::new(AtomicUsize::new(0));
+
+        // Another "thread": a second handle pinned the whole time.
+        let blocker = collector.register();
+        let _block_guard = blocker.pin();
+        let blocked_epoch = collector.stats().global_epoch;
+
+        for _ in 0..500 {
+            retire_one(&collector, &drops);
+            collector.flush();
+        }
+        // The blocker pinned at `blocked_epoch`; the epoch can advance at
+        // most once past it, so nothing retired at or after
+        // `blocked_epoch + 1` may be freed... in particular garbage retired
+        // *after* the blocker pinned can never become two epochs old.
+        let e = collector.stats().global_epoch;
+        assert!(
+            e <= blocked_epoch + 1,
+            "epoch advanced past pinned participant: {e} vs {blocked_epoch}"
+        );
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn unpinning_blocker_releases_garbage() {
+        let collector = Collector::new();
+        let drops = Arc::new(AtomicUsize::new(0));
+        let blocker = collector.register();
+        let block_guard = blocker.pin();
+        for _ in 0..100 {
+            retire_one(&collector, &drops);
+        }
+        drop(block_guard);
+        for _ in 0..8 {
+            collector.flush();
+            drop(collector.pin());
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn nested_guards_pin_once() {
+        let collector = Collector::new();
+        let handle = collector.register();
+        let g1 = handle.pin();
+        let e1 = collector.stats().global_epoch;
+        let g2 = handle.pin();
+        assert!(handle.is_pinned());
+        drop(g1);
+        assert!(handle.is_pinned());
+        drop(g2);
+        assert!(!handle.is_pinned());
+        let _ = e1;
+    }
+
+    #[test]
+    fn exiting_thread_orphans_garbage_which_is_later_freed() {
+        let collector = Collector::new();
+        let drops = Arc::new(AtomicUsize::new(0));
+        let c2 = collector.clone();
+        let d2 = drops.clone();
+        std::thread::spawn(move || {
+            for _ in 0..50 {
+                retire_one(&c2, &d2);
+            }
+            // Thread exits; its cached handle drops, orphaning the bags.
+        })
+        .join()
+        .unwrap();
+        for _ in 0..8 {
+            collector.flush();
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn dropping_collector_with_pending_garbage_frees_it() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let collector = Collector::new();
+            let handle = collector.register();
+            let guard = handle.pin();
+            let a = crate::Atomic::new(CountDrop(drops.clone()));
+            let s = a.load(Ordering::SeqCst, &guard);
+            unsafe { guard.defer_destroy(s) };
+            drop(guard);
+            drop(handle);
+            // collector (and cached TLS handles, if any) drop here...
+        }
+        // ...but TLS-cached handles on this thread may still hold the
+        // global. Touch a new collector to trigger the purge.
+        let other = Collector::new();
+        drop(other.pin());
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn participant_records_are_reused() {
+        let collector = Collector::new();
+        let h1 = collector.register();
+        let r1 = unsafe { &*h1.inner }.record;
+        drop(h1);
+        let h2 = collector.register();
+        let r2 = unsafe { &*h2.inner }.record;
+        assert_eq!(r1, r2, "released record should be reclaimed");
+    }
+
+    #[test]
+    fn guard_outliving_handle_is_sound() {
+        let collector = Collector::new();
+        let handle = collector.register();
+        let guard = handle.pin();
+        drop(handle);
+        // Guard still pins; dropping it finalizes the registration.
+        drop(guard);
+        // Re-registering reuses the slot without crashing.
+        let h = collector.register();
+        drop(h.pin());
+    }
+
+    #[test]
+    fn repin_after_allows_advancement() {
+        let collector = Collector::new();
+        let handle = collector.register();
+        let mut guard = handle.pin();
+        let before = collector.stats().global_epoch;
+        guard.repin_after(|| {
+            // While unpinned, another participant can advance the epoch
+            // multiple times.
+            for _ in 0..4 {
+                collector.flush();
+                drop(collector.pin());
+            }
+        });
+        let after = collector.stats().global_epoch;
+        assert!(after >= before + 2, "epoch should run ahead: {before} -> {after}");
+        drop(guard);
+    }
+}

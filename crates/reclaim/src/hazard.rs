@@ -1,0 +1,426 @@
+//! Hazard pointers (Michael, 2004).
+//!
+//! Section 6 of the paper singles out hazard pointers as the memory-
+//! management scheme "applicable to a slightly modified version of our
+//! implementation". This module provides the substrate: a [`Domain`] of
+//! hazard slots plus [`HazardPointer`] guards with the standard
+//! publish-and-validate protection loop, and threshold-triggered scanning
+//! of retired objects.
+//!
+//! The EFRB tree itself uses the epoch scheme (see crate docs for why); the
+//! hazard-pointer domain is exercised by this crate's test suite (Treiber
+//! stack) and by the reclamation-ablation experiment (T8 in DESIGN.md).
+//!
+//! # Examples
+//!
+//! ```
+//! use nbbst_reclaim::hazard::Domain;
+//! use std::sync::atomic::{AtomicPtr, Ordering};
+//!
+//! let domain = Domain::new();
+//! let slot = AtomicPtr::new(Box::into_raw(Box::new(41u64)));
+//!
+//! let mut hp = domain.hazard_pointer();
+//! let p = hp.protect(&slot);
+//! // While `hp` protects `p`, retiring it must not free it.
+//! assert_eq!(unsafe { *p }, 41);
+//!
+//! let unlinked = slot.swap(std::ptr::null_mut(), Ordering::AcqRel);
+//! unsafe { domain.retire(unlinked) };
+//! assert_eq!(unsafe { *p }, 41); // still alive: protected
+//! hp.reset();
+//! domain.eager_reclaim(); // now it may go
+//! ```
+
+use crate::deferred::Deferred;
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Retired objects accumulate until a scan is worthwhile.
+const SCAN_THRESHOLD: usize = 64;
+
+struct Slot {
+    hazard: AtomicUsize,
+    active: AtomicBool,
+    next: AtomicPtr<Slot>,
+}
+
+struct Retired {
+    addr: usize,
+    deferred: Deferred,
+}
+
+/// A hazard-pointer domain: a registry of hazard slots plus the retired
+/// list they guard.
+///
+/// Readers are lock-free (slot acquisition is a CAS loop, protection is a
+/// publish-validate loop); the retire path takes a mutex, which is
+/// acceptable for this workspace where hazard pointers serve as an
+/// alternative substrate for ablation, not the tree's hot path.
+pub struct Domain {
+    slots: AtomicPtr<Slot>,
+    retired: Mutex<Vec<Retired>>,
+    retired_count: AtomicUsize,
+    freed_count: AtomicUsize,
+}
+
+impl Domain {
+    /// Creates an empty domain.
+    pub fn new() -> Domain {
+        Domain {
+            slots: AtomicPtr::new(std::ptr::null_mut()),
+            retired: Mutex::new(Vec::new()),
+            retired_count: AtomicUsize::new(0),
+            freed_count: AtomicUsize::new(0),
+        }
+    }
+
+    /// Acquires a hazard slot for the calling thread.
+    pub fn hazard_pointer(&self) -> HazardPointer<'_> {
+        // Reuse an inactive slot if possible.
+        let mut cur = self.slots.load(Ordering::Acquire);
+        while let Some(s) = unsafe { cur.as_ref() } {
+            if s.active
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return HazardPointer { _domain: self, slot: cur };
+            }
+            cur = s.next.load(Ordering::Acquire);
+        }
+        // Push a fresh slot.
+        let slot = Box::into_raw(Box::new(Slot {
+            hazard: AtomicUsize::new(0),
+            active: AtomicBool::new(true),
+            next: AtomicPtr::new(std::ptr::null_mut()),
+        }));
+        let mut head = self.slots.load(Ordering::Acquire);
+        loop {
+            unsafe { (*slot).next.store(head, Ordering::Relaxed) };
+            match self
+                .slots
+                .compare_exchange(head, slot, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return HazardPointer { _domain: self, slot },
+                Err(h) => head = h,
+            }
+        }
+    }
+
+    /// Retires an unlinked allocation for eventual destruction.
+    ///
+    /// # Safety
+    ///
+    /// * `ptr` must come from `Box::into_raw` and be unlinked: no thread can
+    ///   newly reach it (threads that already protect it are exactly what
+    ///   hazard pointers handle).
+    /// * Must be called at most once per allocation.
+    pub unsafe fn retire<T>(&self, ptr: *mut T) {
+        assert!(!ptr.is_null(), "retire(null)");
+        let item = Retired {
+            addr: ptr as usize,
+            deferred: Deferred::destroy_boxed(ptr),
+        };
+        let len = {
+            let mut retired = self.retired.lock().unwrap_or_else(|e| e.into_inner());
+            retired.push(item);
+            retired.len()
+        };
+        self.retired_count.fetch_add(1, Ordering::Relaxed);
+        if len >= SCAN_THRESHOLD {
+            self.scan();
+        }
+    }
+
+    /// Scans hazard slots and frees every retired object not currently
+    /// protected. Returns how many objects were freed.
+    pub fn eager_reclaim(&self) -> usize {
+        self.scan()
+    }
+
+    fn scan(&self) -> usize {
+        // Snapshot the hazard set *before* deciding what to free.
+        let mut hazards = HashSet::new();
+        let mut cur = self.slots.load(Ordering::Acquire);
+        while let Some(s) = unsafe { cur.as_ref() } {
+            let h = s.hazard.load(Ordering::SeqCst);
+            if h != 0 {
+                hazards.insert(h);
+            }
+            cur = s.next.load(Ordering::Acquire);
+        }
+        let mut to_free = Vec::new();
+        {
+            let mut retired = self.retired.lock().unwrap_or_else(|e| e.into_inner());
+            let mut i = 0;
+            while i < retired.len() {
+                if hazards.contains(&retired[i].addr) {
+                    i += 1;
+                } else {
+                    to_free.push(retired.swap_remove(i));
+                }
+            }
+        }
+        let freed = to_free.len();
+        for r in to_free {
+            r.deferred.execute();
+        }
+        self.freed_count.fetch_add(freed, Ordering::Relaxed);
+        freed
+    }
+
+    /// `(retired so far, freed so far)` counters.
+    pub fn stats(&self) -> (usize, usize) {
+        (
+            self.retired_count.load(Ordering::Relaxed),
+            self.freed_count.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl Default for Domain {
+    fn default() -> Self {
+        Domain::new()
+    }
+}
+
+impl Drop for Domain {
+    fn drop(&mut self) {
+        // All users are gone; free the slot list and any remaining retired
+        // objects (their `Deferred`s run on drop).
+        let mut cur = *self.slots.get_mut();
+        while !cur.is_null() {
+            let boxed = unsafe { Box::from_raw(cur) };
+            cur = boxed.next.load(Ordering::Relaxed);
+        }
+        if let Ok(retired) = self.retired.get_mut() {
+            retired.clear();
+        }
+    }
+}
+
+impl fmt::Debug for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (retired, freed) = self.stats();
+        f.debug_struct("Domain")
+            .field("retired", &retired)
+            .field("freed", &freed)
+            .finish()
+    }
+}
+
+/// An acquired hazard slot; protects at most one pointer at a time.
+pub struct HazardPointer<'d> {
+    /// Held to tie the slot's lifetime to the domain's.
+    _domain: &'d Domain,
+    slot: *const Slot,
+}
+
+impl HazardPointer<'_> {
+    fn slot(&self) -> &Slot {
+        // SAFETY: slots live until the Domain drops; `'d` ties us to it.
+        unsafe { &*self.slot }
+    }
+
+    /// Publish-and-validate loop: returns a pointer read from `src` that is
+    /// protected until [`HazardPointer::reset`] or the next `protect` call.
+    ///
+    /// The returned pointer (if non-null and if it was reachable at the
+    /// time of the validated read) will not be freed by
+    /// [`Domain::retire`]/[`Domain::eager_reclaim`] while protected.
+    pub fn protect<T>(&mut self, src: &AtomicPtr<T>) -> *mut T {
+        loop {
+            let p = src.load(Ordering::Acquire);
+            self.slot().hazard.store(p as usize, Ordering::SeqCst);
+            // Validate: if `src` still holds `p`, then `p` was not retired
+            // before our hazard became visible, so any scan must see it.
+            let q = src.load(Ordering::SeqCst);
+            if p == q {
+                return p;
+            }
+        }
+    }
+
+    /// Stops protecting the current pointer.
+    pub fn reset(&mut self) {
+        self.slot().hazard.store(0, Ordering::Release);
+    }
+}
+
+impl Drop for HazardPointer<'_> {
+    fn drop(&mut self) {
+        let slot = self.slot();
+        slot.hazard.store(0, Ordering::Release);
+        slot.active.store(false, Ordering::Release);
+    }
+}
+
+impl fmt::Debug for HazardPointer<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HazardPointer")
+            .field("protecting", &(self.slot().hazard.load(Ordering::Relaxed) as *const ()))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize as Counter, Ordering};
+    use std::sync::Arc;
+
+    struct CountDrop(Arc<Counter>);
+    impl Drop for CountDrop {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn protected_pointer_is_not_freed() {
+        let domain = Domain::new();
+        let drops = Arc::new(Counter::new(0));
+        let slot = AtomicPtr::new(Box::into_raw(Box::new(CountDrop(drops.clone()))));
+
+        let mut hp = domain.hazard_pointer();
+        let p = hp.protect(&slot);
+        assert!(!p.is_null());
+
+        let unlinked = slot.swap(std::ptr::null_mut(), Ordering::AcqRel);
+        unsafe { domain.retire(unlinked) };
+        domain.eager_reclaim();
+        assert_eq!(drops.load(Ordering::SeqCst), 0, "protected object freed");
+
+        hp.reset();
+        domain.eager_reclaim();
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn unprotected_retire_frees_on_scan() {
+        let domain = Domain::new();
+        let drops = Arc::new(Counter::new(0));
+        for _ in 0..10 {
+            let p = Box::into_raw(Box::new(CountDrop(drops.clone())));
+            unsafe { domain.retire(p) };
+        }
+        domain.eager_reclaim();
+        assert_eq!(drops.load(Ordering::SeqCst), 10);
+        let (retired, freed) = domain.stats();
+        assert_eq!(retired, 10);
+        assert_eq!(freed, 10);
+    }
+
+    #[test]
+    fn threshold_triggers_scan_automatically() {
+        let domain = Domain::new();
+        let drops = Arc::new(Counter::new(0));
+        for _ in 0..SCAN_THRESHOLD {
+            let p = Box::into_raw(Box::new(CountDrop(drops.clone())));
+            unsafe { domain.retire(p) };
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), SCAN_THRESHOLD);
+    }
+
+    #[test]
+    fn slots_are_reused() {
+        let domain = Domain::new();
+        let hp1 = domain.hazard_pointer();
+        let s1 = hp1.slot;
+        drop(hp1);
+        let hp2 = domain.hazard_pointer();
+        assert_eq!(s1, hp2.slot);
+    }
+
+    #[test]
+    fn dropping_domain_frees_remaining_retired() {
+        let drops = Arc::new(Counter::new(0));
+        {
+            let domain = Domain::new();
+            let p = Box::into_raw(Box::new(CountDrop(drops.clone())));
+            unsafe { domain.retire(p) };
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn concurrent_stack_stress() {
+        // Treiber stack protected by hazard pointers: push/pop from many
+        // threads, assert no lost or double-freed nodes.
+        struct Node {
+            value: u64,
+            next: *mut Node,
+        }
+        let domain = Arc::new(Domain::new());
+        let head: Arc<AtomicPtr<Node>> = Arc::new(AtomicPtr::new(std::ptr::null_mut()));
+        let popped_sum = Arc::new(Counter::new(0));
+        let pushed_sum = Arc::new(Counter::new(0));
+
+        const THREADS: usize = 4;
+        const PER_THREAD: u64 = 2_000;
+
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let domain = domain.clone();
+            let head = head.clone();
+            let popped_sum = popped_sum.clone();
+            let pushed_sum = pushed_sum.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut hp = domain.hazard_pointer();
+                for i in 0..PER_THREAD {
+                    let value = (t as u64) * PER_THREAD + i + 1;
+                    // push
+                    let node = Box::into_raw(Box::new(Node {
+                        value,
+                        next: std::ptr::null_mut(),
+                    }));
+                    loop {
+                        let h = head.load(Ordering::Acquire);
+                        unsafe { (*node).next = h };
+                        if head
+                            .compare_exchange(h, node, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok()
+                        {
+                            break;
+                        }
+                    }
+                    pushed_sum.fetch_add(value as usize, Ordering::Relaxed);
+                    // pop
+                    loop {
+                        let top = hp.protect(&head);
+                        if top.is_null() {
+                            break;
+                        }
+                        let next = unsafe { (*top).next };
+                        if head
+                            .compare_exchange(top, next, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok()
+                        {
+                            popped_sum
+                                .fetch_add(unsafe { (*top).value } as usize, Ordering::Relaxed);
+                            unsafe { domain.retire(top) };
+                            break;
+                        }
+                    }
+                    hp.reset();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Every thread pops exactly one node per push, so the stack is empty
+        // and every pushed value was popped exactly once.
+        assert!(head.load(Ordering::SeqCst).is_null());
+        assert_eq!(
+            popped_sum.load(Ordering::SeqCst),
+            pushed_sum.load(Ordering::SeqCst)
+        );
+        domain.eager_reclaim();
+        let (retired, freed) = domain.stats();
+        assert_eq!(retired, THREADS * PER_THREAD as usize);
+        assert_eq!(freed, retired);
+    }
+}

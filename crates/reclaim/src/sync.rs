@@ -1,0 +1,376 @@
+//! Classic lock-free containers built on the epoch substrate.
+//!
+//! These exist for two reasons: they are the standard end-to-end proof
+//! that a reclamation substrate is sound (nodes allocated by one thread,
+//! unlinked and retired by another, under contention), and the workspace's
+//! experiments use them as auxiliary infrastructure. Both are textbook
+//! algorithms:
+//!
+//! * [`TreiberStack`] — Treiber's stack (1986): push/pop via head CAS.
+//! * [`MsQueue`] — the Michael–Scott queue (1996): the two-pointer
+//!   lock-free FIFO with helping on the lagging tail — helping being the
+//!   same idea the EFRB tree's Info records generalize.
+
+use crate::{unprotected, Atomic, Collector, Owned, Shared};
+use std::fmt;
+use std::sync::atomic::Ordering;
+
+const ORD: Ordering = Ordering::SeqCst;
+
+struct StackNode<T> {
+    value: Option<T>,
+    next: Atomic<StackNode<T>>,
+}
+
+/// A lock-free LIFO stack.
+///
+/// # Examples
+///
+/// ```
+/// use nbbst_reclaim::sync::TreiberStack;
+///
+/// let s = TreiberStack::new();
+/// s.push(1);
+/// s.push(2);
+/// assert_eq!(s.pop(), Some(2));
+/// assert_eq!(s.pop(), Some(1));
+/// assert_eq!(s.pop(), None);
+/// ```
+pub struct TreiberStack<T> {
+    head: Atomic<StackNode<T>>,
+    collector: Collector,
+}
+
+unsafe impl<T: Send> Send for TreiberStack<T> {}
+unsafe impl<T: Send> Sync for TreiberStack<T> {}
+
+impl<T> TreiberStack<T> {
+    /// Creates an empty stack.
+    pub fn new() -> TreiberStack<T> {
+        TreiberStack {
+            head: Atomic::null(),
+            collector: Collector::new(),
+        }
+    }
+
+    /// Pushes `value`.
+    pub fn push(&self, value: T) {
+        let guard = self.collector.pin();
+        let mut node = Owned::new(StackNode {
+            value: Some(value),
+            next: Atomic::null(),
+        });
+        loop {
+            let head = self.head.load(ORD, &guard);
+            node.next.store(head, ORD);
+            match self.head.compare_exchange(head, node, ORD, ORD, &guard) {
+                Ok(_) => return,
+                Err(e) => node = e.new,
+            }
+        }
+    }
+
+    /// Pops the most recently pushed value, if any.
+    pub fn pop(&self) -> Option<T> {
+        let guard = self.collector.pin();
+        loop {
+            let head = self.head.load(ORD, &guard);
+            // SAFETY: protected by the guard.
+            let node = unsafe { head.as_ref() }?;
+            let next = node.next.load(ORD, &guard);
+            if self
+                .head
+                .compare_exchange(head, next, ORD, ORD, &guard)
+                .is_ok()
+            {
+                // SAFETY: we unlinked `head`; unique access to its value
+                // slot (no other thread can pop it again) and unique
+                // retirement. Reading the value via a raw pointer before
+                // retiring keeps `T` un-cloned.
+                let value =
+                    unsafe { (*(head.as_raw() as *mut StackNode<T>)).value.take() };
+                unsafe { guard.defer_destroy(head) };
+                return value;
+            }
+        }
+    }
+
+    /// `true` iff the stack has no elements (at the instant of the load).
+    pub fn is_empty(&self) -> bool {
+        let guard = self.collector.pin();
+        self.head.load(ORD, &guard).is_null()
+    }
+}
+
+impl<T> Default for TreiberStack<T> {
+    fn default() -> Self {
+        TreiberStack::new()
+    }
+}
+
+impl<T> Drop for TreiberStack<T> {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access at teardown.
+        let guard = unsafe { unprotected() };
+        let mut cur = self.head.load(ORD, &guard);
+        while !cur.is_null() {
+            let node = unsafe { Box::from_raw(cur.as_raw() as *mut StackNode<T>) };
+            cur = node.next.load(ORD, &guard);
+        }
+    }
+}
+
+impl<T> fmt::Debug for TreiberStack<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("TreiberStack")
+    }
+}
+
+struct QueueNode<T> {
+    value: Option<T>,
+    next: Atomic<QueueNode<T>>,
+}
+
+/// A lock-free multi-producer multi-consumer FIFO queue (Michael–Scott).
+///
+/// # Examples
+///
+/// ```
+/// use nbbst_reclaim::sync::MsQueue;
+///
+/// let q = MsQueue::new();
+/// q.push(1);
+/// q.push(2);
+/// assert_eq!(q.pop(), Some(1));
+/// assert_eq!(q.pop(), Some(2));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct MsQueue<T> {
+    head: Atomic<QueueNode<T>>,
+    tail: Atomic<QueueNode<T>>,
+    collector: Collector,
+}
+
+unsafe impl<T: Send> Send for MsQueue<T> {}
+unsafe impl<T: Send> Sync for MsQueue<T> {}
+
+impl<T> MsQueue<T> {
+    /// Creates an empty queue (head and tail share a dummy node).
+    pub fn new() -> MsQueue<T> {
+        let collector = Collector::new();
+        let q = MsQueue {
+            head: Atomic::null(),
+            tail: Atomic::null(),
+            collector: collector.clone(),
+        };
+        let guard = collector.pin();
+        let dummy = Owned::new(QueueNode {
+            value: None,
+            next: Atomic::null(),
+        })
+        .into_shared(&guard);
+        q.head.store(dummy, ORD);
+        q.tail.store(dummy, ORD);
+        drop(guard);
+        q
+    }
+
+    /// Appends `value` at the tail.
+    pub fn push(&self, value: T) {
+        let guard = self.collector.pin();
+        let mut new = Owned::new(QueueNode {
+            value: Some(value),
+            next: Atomic::null(),
+        });
+        loop {
+            let tail = self.tail.load(ORD, &guard);
+            // SAFETY: tail is never null; guard-protected.
+            let tail_ref = unsafe { tail.deref() };
+            let next = tail_ref.next.load(ORD, &guard);
+            if !next.is_null() {
+                // Help the lagging tail forward, then retry.
+                let _ = self.tail.compare_exchange(tail, next, ORD, ORD, &guard);
+                continue;
+            }
+            match tail_ref
+                .next
+                .compare_exchange(Shared::null(), new, ORD, ORD, &guard)
+            {
+                Ok(installed) => {
+                    let _ = self
+                        .tail
+                        .compare_exchange(tail, installed, ORD, ORD, &guard);
+                    return;
+                }
+                Err(e) => new = e.new,
+            }
+        }
+    }
+
+    /// Removes the oldest value, if any.
+    pub fn pop(&self) -> Option<T> {
+        let guard = self.collector.pin();
+        loop {
+            let head = self.head.load(ORD, &guard);
+            let head_ref = unsafe { head.deref() };
+            let next = head_ref.next.load(ORD, &guard);
+            if next.is_null() {
+                return None;
+            }
+            if self
+                .head
+                .compare_exchange(head, next, ORD, ORD, &guard)
+                .is_ok()
+            {
+                // The popped node (`next`) becomes the new dummy; its value
+                // moves out. SAFETY: winning the head CAS gives us unique
+                // ownership of the value slot, and the old dummy's unique
+                // retirement.
+                let value = unsafe { (*(next.as_raw() as *mut QueueNode<T>)).value.take() };
+                unsafe { guard.defer_destroy(head) };
+                debug_assert!(value.is_some(), "non-dummy queue nodes carry values");
+                return value;
+            }
+        }
+    }
+
+    /// `true` iff the queue has no elements (at the instant of the loads).
+    pub fn is_empty(&self) -> bool {
+        let guard = self.collector.pin();
+        let head = self.head.load(ORD, &guard);
+        unsafe { head.deref() }.next.load(ORD, &guard).is_null()
+    }
+}
+
+impl<T> Default for MsQueue<T> {
+    fn default() -> Self {
+        MsQueue::new()
+    }
+}
+
+impl<T> Drop for MsQueue<T> {
+    fn drop(&mut self) {
+        // SAFETY: exclusive at teardown.
+        let guard = unsafe { unprotected() };
+        let mut cur = self.head.load(ORD, &guard);
+        while !cur.is_null() {
+            let node = unsafe { Box::from_raw(cur.as_raw() as *mut QueueNode<T>) };
+            cur = node.next.load(ORD, &guard);
+        }
+    }
+}
+
+impl<T> fmt::Debug for MsQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("MsQueue")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn stack_lifo_order() {
+        let s = TreiberStack::new();
+        assert!(s.is_empty());
+        for i in 0..50 {
+            s.push(i);
+        }
+        for i in (0..50).rev() {
+            assert_eq!(s.pop(), Some(i));
+        }
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn stack_concurrent_push_pop_conserves_elements() {
+        let s = Arc::new(TreiberStack::new());
+        let popped = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let s = s.clone();
+                let popped = popped.clone();
+                scope.spawn(move || {
+                    for i in 0..2_000 {
+                        s.push(t * 10_000 + i);
+                        if s.pop().is_some() {
+                            popped.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        let mut residual = 0;
+        while s.pop().is_some() {
+            residual += 1;
+        }
+        assert_eq!(popped.load(Ordering::SeqCst) + residual, 8_000);
+    }
+
+    #[test]
+    fn stack_drop_with_contents_frees() {
+        let s = TreiberStack::new();
+        for i in 0..100 {
+            s.push(vec![i; 4]);
+        }
+        drop(s); // allocator-checked
+    }
+
+    #[test]
+    fn queue_fifo_order() {
+        let q = MsQueue::new();
+        assert!(q.is_empty());
+        for i in 0..50 {
+            q.push(i);
+        }
+        assert!(!q.is_empty());
+        for i in 0..50 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn queue_values_never_lost_or_duplicated() {
+        let q = Arc::new(MsQueue::new());
+        let sum = Arc::new(AtomicUsize::new(0));
+        let count = Arc::new(AtomicUsize::new(0));
+        const N: usize = 4_000;
+        std::thread::scope(|scope| {
+            for t in 0..2usize {
+                let q = q.clone();
+                scope.spawn(move || {
+                    for i in 0..N / 2 {
+                        q.push(t * (N / 2) + i + 1);
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let q = q.clone();
+                let sum = sum.clone();
+                let count = count.clone();
+                scope.spawn(move || {
+                    while count.load(Ordering::SeqCst) < N {
+                        if let Some(v) = q.pop() {
+                            sum.fetch_add(v, Ordering::SeqCst);
+                            count.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), N * (N + 1) / 2);
+    }
+
+    #[test]
+    fn queue_drop_with_contents_frees() {
+        let q = MsQueue::new();
+        for i in 0..100 {
+            q.push(format!("item {i}"));
+        }
+        drop(q);
+    }
+}

@@ -1,0 +1,145 @@
+//! A limit-order-book price index built on the EFRB tree.
+//!
+//! Order books need an *ordered* concurrent dictionary: price levels are
+//! created (first order at a price), destroyed (last order cancelled) and
+//! probed constantly, and the interesting activity clusters near the top
+//! of the book — a hotspot workload where a lock-based tree would
+//! serialize exactly where the money is. Uses the tree as
+//! `price -> resting quantity` for one side of the book.
+//!
+//! ```bash
+//! cargo run --release --example orderbook
+//! ```
+
+use nbbst::{ConcurrentMap, NbBst};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// One side of the book: bid price levels (price -> quantity).
+struct BookSide {
+    levels: NbBst<u64, u64>,
+}
+
+impl BookSide {
+    fn new() -> BookSide {
+        BookSide {
+            levels: NbBst::new(),
+        }
+    }
+
+    /// Rest a new order at `price`. The first order at a price *creates*
+    /// the level (an insert); later orders *join* it (duplicate insert —
+    /// in a production book the per-level quantity would be an atomic
+    /// inside the value, since the tree's stored values are immutable).
+    /// Returns `true` if this order created the level.
+    fn add_order(&self, price: u64, qty: u64) -> bool {
+        self.levels.insert_entry(price, qty).is_ok()
+    }
+
+    /// Cancel the whole level at `price` (if present).
+    fn cancel_level(&self, price: u64) -> bool {
+        self.levels.remove_key(&price)
+    }
+
+    /// Probe whether a level exists (quote checks).
+    fn has_level(&self, price: u64) -> bool {
+        self.levels.contains_key(&price)
+    }
+
+    /// Best (highest) bid — a snapshot scan, fine for display purposes.
+    fn best_bid(&self) -> Option<u64> {
+        self.levels.keys_snapshot().last().copied()
+    }
+}
+
+fn main() {
+    let bids = BookSide::new();
+    const MID: u64 = 10_000;
+
+    // Seed a book: levels every tick for 200 ticks below mid.
+    for p in (MID - 200)..MID {
+        bids.add_order(p, 100);
+    }
+
+    let adds = AtomicU64::new(0);
+    let cancels = AtomicU64::new(0);
+    let probes = AtomicU64::new(0);
+
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        // Two market-maker threads churn levels near the touch (hotspot).
+        for mm in 0..2u64 {
+            let bids = &bids;
+            let adds = &adds;
+            let cancels = &cancels;
+            s.spawn(move || {
+                let mut x = mm + 1;
+                for _ in 0..20_000 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let price = MID - 1 - (x % 10); // top 10 ticks
+                    if x & 1 == 0 {
+                        bids.add_order(price, 50);
+                        adds.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        bids.cancel_level(price);
+                        cancels.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        // One deep-book participant works far from the touch — disjoint
+        // from the market makers, so (per the paper) zero interference.
+        {
+            let bids = &bids;
+            let adds = &adds;
+            let cancels = &cancels;
+            s.spawn(move || {
+                for i in 0..10_000u64 {
+                    let price = MID - 150 - (i % 40);
+                    if i % 2 == 0 {
+                        bids.add_order(price, 500);
+                        adds.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        bids.cancel_level(price);
+                        cancels.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        // A quote service reads constantly and never blocks anyone
+        // (Find only reads shared memory).
+        {
+            let bids = &bids;
+            let probes = &probes;
+            s.spawn(move || {
+                let mut x = 99u64;
+                for _ in 0..50_000 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    bids.has_level(MID - 1 - (x % 200));
+                    probes.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+
+    let total = adds.load(Ordering::Relaxed)
+        + cancels.load(Ordering::Relaxed)
+        + probes.load(Ordering::Relaxed);
+    println!("order-book simulation finished in {elapsed:?}");
+    println!(
+        "  adds: {}, cancels: {}, probes: {} ({:.2} Mops/s total)",
+        adds.load(Ordering::Relaxed),
+        cancels.load(Ordering::Relaxed),
+        probes.load(Ordering::Relaxed),
+        total as f64 / elapsed.as_secs_f64() / 1e6
+    );
+    println!("  best bid: {:?}", bids.best_bid());
+    println!("  resident levels: {}", bids.levels.quiescent_len());
+    bids.levels.check_invariants().expect("book index consistent");
+    println!("  price index invariants verified.");
+}

@@ -1,0 +1,58 @@
+//! Quickstart: the EFRB non-blocking BST as an ordered concurrent map.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+use nbbst::{ConcurrentMap, NbBst};
+
+fn main() {
+    // A lock-free dictionary. Keys need `Ord + Clone`, values `Clone`.
+    let tree: NbBst<u64, String> = NbBst::new();
+
+    // The paper's three operations: Insert, Delete (remove), Find
+    // (contains/get). Duplicate inserts are rejected, not overwritten.
+    assert!(tree.insert(3, "three".to_string()));
+    assert!(tree.insert(1, "one".to_string()));
+    assert!(tree.insert(2, "two".to_string()));
+    assert!(!tree.insert(2, "TWO".to_string()));
+    assert_eq!(tree.get(&2).as_deref(), Some("two"));
+
+    assert!(tree.remove(&1));
+    assert!(!tree.contains(&1));
+
+    // `insert_entry` hands the key/value back on duplicates, so non-`Copy`
+    // values are never lost:
+    let dup = tree.insert_entry(2, "deux".to_string());
+    let (k, v) = dup.unwrap_err();
+    println!("duplicate insert returned our inputs: key={k}, value={v:?}");
+
+    // Share the tree by reference across threads — every operation takes
+    // `&self` and the structure is lock-free.
+    let tree2: NbBst<u64, u64> = NbBst::new();
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let tree2 = &tree2;
+            s.spawn(move || {
+                for i in 0..1_000u64 {
+                    // Shuffled keys: like all plain BSTs, the tree is
+                    // logarithmic for random insertion orders but
+                    // degenerates on sorted ones (balancing is the paper's
+                    // future work).
+                    let k = (i * 2_654_435_761) % 4_096;
+                    tree2.insert(t * 4_096 + k, i);
+                }
+            });
+        }
+    });
+    println!("4 threads inserted {} distinct keys", tree2.quiescent_len());
+
+    // Weakly-consistent whole-tree views for inspection and debugging:
+    println!(
+        "smallest five keys: {:?}",
+        &tree2.keys_snapshot()[..5]
+    );
+    println!("tree height: {} (≈ 2·log2(n) expected for random fills)", tree2.height());
+    tree2.check_invariants().expect("structural invariants");
+    println!("done — see examples/concurrent_kv_store.rs for a realistic workload.");
+}

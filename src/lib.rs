@@ -1,0 +1,52 @@
+//! # nbbst — Non-blocking Binary Search Trees
+//!
+//! A comprehensive Rust reproduction of **Ellen, Fatourou, Ruppert, van
+//! Breugel, "Non-blocking Binary Search Trees", PODC 2010** — the first
+//! complete, linearizable, non-blocking binary search tree built from
+//! single-word compare-and-swap.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`NbBst`] — the paper's tree (from [`nbbst_core`]).
+//! * [`ConcurrentMap`] / [`SeqMap`] — the dictionary abstraction
+//!   (from [`nbbst_dictionary`]).
+//! * [`reclaim`] — the epoch/hazard-pointer memory-reclamation substrate.
+//! * [`model`] — sequential reference models.
+//! * [`baselines`] — lock-based and lock-free comparator dictionaries.
+//! * [`harness`] — workloads, throughput runners, linearizability checking.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use nbbst::NbBst;
+//! use nbbst::ConcurrentMap;
+//!
+//! let tree: NbBst<u64, &str> = NbBst::new();
+//! assert!(tree.insert(7, "seven"));
+//! assert!(!tree.insert(7, "SEVEN"));        // duplicates rejected
+//! assert_eq!(tree.get(&7), Some("seven"));
+//! assert!(tree.remove(&7));
+//! assert!(!tree.contains(&7));
+//! ```
+//!
+//! See `examples/` for multithreaded usage, crash-tolerance demos, and
+//! deterministic schedule exploration, and `EXPERIMENTS.md` for the full
+//! reproduction of the paper's figures.
+
+pub use nbbst_core::{NbBst, NbSet, State, StatsSnapshot};
+pub use nbbst_dictionary::{ConcurrentMap, Operation, Response, SeqMap};
+
+/// The EFRB tree implementation crate ([`nbbst_core`]).
+pub use nbbst_core as core;
+
+/// Memory-reclamation substrate ([`nbbst_reclaim`]).
+pub use nbbst_reclaim as reclaim;
+
+/// Sequential reference models ([`nbbst_model`]).
+pub use nbbst_model as model;
+
+/// Comparator dictionaries ([`nbbst_baselines`]).
+pub use nbbst_baselines as baselines;
+
+/// Workloads and measurement ([`nbbst_harness`]).
+pub use nbbst_harness as harness;

@@ -1,0 +1,87 @@
+//! T10 integration tests: recorded concurrent histories from the EFRB
+//! tree (and every honest baseline) are linearizable.
+
+use nbbst::harness::{check_map_linearizable, KeyDist, OpMix, WorkloadSpec};
+use nbbst::NbBst;
+
+fn spec(seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        key_range: 8,
+        mix: OpMix::new(20, 40, 40),
+        dist: KeyDist::Uniform,
+        prefill_fraction: 0.5,
+        seed,
+    }
+}
+
+#[test]
+fn nbbst_histories_are_linearizable() {
+    check_map_linearizable(NbBst::<u64, u64>::new, &spec(11), 4, 12, 60).unwrap();
+}
+
+#[test]
+fn nbbst_update_heavy_histories_are_linearizable() {
+    let s = WorkloadSpec {
+        mix: OpMix::UPDATE_ONLY,
+        key_range: 4, // maximal key collision
+        ..spec(13)
+    };
+    check_map_linearizable(NbBst::<u64, u64>::new, &s, 4, 12, 60).unwrap();
+}
+
+#[test]
+fn nbbst_read_heavy_histories_are_linearizable() {
+    let s = WorkloadSpec {
+        mix: OpMix::new(60, 20, 20),
+        ..spec(17)
+    };
+    check_map_linearizable(NbBst::<u64, u64>::new, &s, 8, 8, 40).unwrap();
+}
+
+#[test]
+fn skiplist_histories_are_linearizable() {
+    check_map_linearizable(
+        nbbst::baselines::SkipList::<u64, u64>::new,
+        &spec(19),
+        4,
+        12,
+        40,
+    )
+    .unwrap();
+}
+
+#[test]
+fn lockfree_list_histories_are_linearizable() {
+    check_map_linearizable(
+        nbbst::baselines::LockFreeList::<u64, u64>::new,
+        &spec(23),
+        4,
+        12,
+        40,
+    )
+    .unwrap();
+}
+
+#[test]
+fn fine_lock_histories_are_linearizable() {
+    check_map_linearizable(
+        nbbst::baselines::FineLockBst::<u64, u64>::new,
+        &spec(29),
+        4,
+        12,
+        40,
+    )
+    .unwrap();
+}
+
+#[test]
+fn coarse_lock_histories_are_linearizable() {
+    check_map_linearizable(
+        nbbst::baselines::CoarseLockBst::<u64, u64>::new,
+        &spec(31),
+        4,
+        12,
+        40,
+    )
+    .unwrap();
+}
