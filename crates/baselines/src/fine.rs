@@ -66,7 +66,8 @@ impl<K, V> FineNode<K, V> {
         });
         // Initialization stores before publication.
         unsafe {
-            n.left.store(Shared::from_data(left as usize), Ordering::Relaxed);
+            n.left
+                .store(Shared::from_data(left as usize), Ordering::Relaxed);
             n.right
                 .store(Shared::from_data(right as usize), Ordering::Relaxed);
         }

@@ -86,19 +86,16 @@ where
             let mut curr = prev.load(ORD, guard);
             loop {
                 let Some(curr_ref) = (unsafe { curr.with_tag(0).as_ref() }) else {
-                    return ListPos { prev, curr: Shared::null() };
+                    return ListPos {
+                        prev,
+                        curr: Shared::null(),
+                    };
                 };
                 let next = curr_ref.next.load(ORD, guard);
                 if next.tag() & MARK != 0 {
                     // `curr` is logically deleted: try to unlink it.
                     let unmarked_next = next.with_tag(0);
-                    match prev.compare_exchange(
-                        curr.with_tag(0),
-                        unmarked_next,
-                        ORD,
-                        ORD,
-                        guard,
-                    ) {
+                    match prev.compare_exchange(curr.with_tag(0), unmarked_next, ORD, ORD, guard) {
                         Ok(_) => {
                             // SAFETY: we unlinked it; unique retire (only
                             // the successful unlinker retires).
@@ -110,7 +107,10 @@ where
                     }
                 }
                 if curr_ref.key >= *key {
-                    return ListPos { prev, curr: curr.with_tag(0) };
+                    return ListPos {
+                        prev,
+                        curr: curr.with_tag(0),
+                    };
                 }
                 prev = &curr_ref.next;
                 curr = next;
@@ -134,10 +134,7 @@ where
                 }
             }
             new.next.store(pos.curr, ORD);
-            match pos
-                .prev
-                .compare_exchange(pos.curr, new, ORD, ORD, &guard)
-            {
+            match pos.prev.compare_exchange(pos.curr, new, ORD, ORD, &guard) {
                 Ok(_) => return true,
                 Err(e) => new = e.new, // reuse the allocation and retry
             }

@@ -63,7 +63,8 @@ impl<K, V> NaiveNode<K, V> {
             right: Atomic::null(),
         });
         unsafe {
-            n.left.store(Shared::from_data(left as usize), Ordering::Relaxed);
+            n.left
+                .store(Shared::from_data(left as usize), Ordering::Relaxed);
             n.right
                 .store(Shared::from_data(right as usize), Ordering::Relaxed);
         }
@@ -241,11 +242,7 @@ where
     /// lost update left behind, which is how the Figure 3 anomalies are
     /// observed.
     pub fn keys_snapshot(&self) -> Vec<K> {
-        fn go<K: Clone, V>(
-            n: &NaiveNode<K, V>,
-            guard: &Guard,
-            out: &mut Vec<K>,
-        ) {
+        fn go<K: Clone, V>(n: &NaiveNode<K, V>, guard: &Guard, out: &mut Vec<K>) {
             if n.is_leaf {
                 if let SentinelKey::Key(k) = &n.key {
                     out.push(k.clone());
@@ -339,8 +336,7 @@ where
         let p = unsafe { &*self.p };
         let slot = if self.p_left { &p.left } else { &p.right };
         let old: Shared<'_, NaiveNode<K, V>> = unsafe { Shared::from_data(self.l as usize) };
-        let new: Shared<'_, NaiveNode<K, V>> =
-            unsafe { Shared::from_data(self.internal as usize) };
+        let new: Shared<'_, NaiveNode<K, V>> = unsafe { Shared::from_data(self.internal as usize) };
         match slot.compare_exchange(old, new, ORD, ORD, &self.guard) {
             Ok(_) => {
                 // NOTE (deliberate bug): the replaced leaf is NOT retired
@@ -412,8 +408,7 @@ where
         let gp = unsafe { &*self.gp };
         let slot = if self.gp_left { &gp.left } else { &gp.right };
         let old: Shared<'_, NaiveNode<K, V>> = unsafe { Shared::from_data(self.p as usize) };
-        let new: Shared<'_, NaiveNode<K, V>> =
-            unsafe { Shared::from_data(self.sibling as usize) };
+        let new: Shared<'_, NaiveNode<K, V>> = unsafe { Shared::from_data(self.sibling as usize) };
         match slot.compare_exchange(old, new, ORD, ORD, &self.guard) {
             Ok(_) => CommitOutcome::Applied,
             Err(_) => CommitOutcome::CasFailed(None),

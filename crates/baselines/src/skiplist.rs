@@ -155,9 +155,7 @@ where
                 succs[level] = curr.with_tag(0);
             }
             let found = match unsafe { succs[0].as_ref() } {
-                Some(c) if c.key == *key => {
-                    c.next[0].load(ORD, guard).tag() & MARK == 0
-                }
+                Some(c) if c.key == *key => c.next[0].load(ORD, guard).tag() & MARK == 0,
                 _ => false,
             };
             return found;
@@ -170,8 +168,7 @@ where
         let height = random_height();
         let mut preds: [&Atomic<SkipNode<K, V>>; MAX_HEIGHT] =
             std::array::from_fn(|i| &self.head[i]);
-        let mut succs: [Shared<'_, SkipNode<K, V>>; MAX_HEIGHT] =
-            [Shared::null(); MAX_HEIGHT];
+        let mut succs: [Shared<'_, SkipNode<K, V>>; MAX_HEIGHT] = [Shared::null(); MAX_HEIGHT];
 
         let mut node = Owned::new(SkipNode {
             key,
@@ -238,8 +235,7 @@ where
         let guard = self.collector.pin();
         let mut preds: [&Atomic<SkipNode<K, V>>; MAX_HEIGHT] =
             std::array::from_fn(|i| &self.head[i]);
-        let mut succs: [Shared<'_, SkipNode<K, V>>; MAX_HEIGHT] =
-            [Shared::null(); MAX_HEIGHT];
+        let mut succs: [Shared<'_, SkipNode<K, V>>; MAX_HEIGHT] = [Shared::null(); MAX_HEIGHT];
         if !self.find(key, &mut preds, &mut succs, &guard) {
             return false;
         }
@@ -298,12 +294,7 @@ where
     /// expected — a naive per-level scan from the head would make every
     /// delete `O(n)`), then scans the short equal-key run at each level
     /// for pointer equality.
-    fn is_linked(
-        &self,
-        node: Shared<'_, SkipNode<K, V>>,
-        key: &K,
-        guard: &Guard,
-    ) -> bool {
+    fn is_linked(&self, node: Shared<'_, SkipNode<K, V>>, key: &K, guard: &Guard) -> bool {
         let node = node.with_tag(0);
         let mut pred: Option<&SkipNode<K, V>> = None;
         for level in (0..MAX_HEIGHT).rev() {
@@ -341,8 +332,7 @@ where
         let guard = self.collector.pin();
         let mut preds: [&Atomic<SkipNode<K, V>>; MAX_HEIGHT] =
             std::array::from_fn(|i| &self.head[i]);
-        let mut succs: [Shared<'_, SkipNode<K, V>>; MAX_HEIGHT] =
-            [Shared::null(); MAX_HEIGHT];
+        let mut succs: [Shared<'_, SkipNode<K, V>>; MAX_HEIGHT] = [Shared::null(); MAX_HEIGHT];
         self.find(key, &mut preds, &mut succs, &guard)
     }
 
@@ -354,8 +344,7 @@ where
         let guard = self.collector.pin();
         let mut preds: [&Atomic<SkipNode<K, V>>; MAX_HEIGHT] =
             std::array::from_fn(|i| &self.head[i]);
-        let mut succs: [Shared<'_, SkipNode<K, V>>; MAX_HEIGHT] =
-            [Shared::null(); MAX_HEIGHT];
+        let mut succs: [Shared<'_, SkipNode<K, V>>; MAX_HEIGHT] = [Shared::null(); MAX_HEIGHT];
         if self.find(key, &mut preds, &mut succs, &guard) {
             // SAFETY: `find` returned it under our guard.
             Some(unsafe { succs[0].deref() }.value.clone())
@@ -435,8 +424,7 @@ impl<K, V> Drop for SkipList<K, V> {
         while !curr.is_null() {
             // SAFETY: teardown; exclusive access. Every node is linked at
             // the bottom level exactly once.
-            let node =
-                unsafe { Box::from_raw(curr.as_raw() as *mut SkipNode<K, V>) };
+            let node = unsafe { Box::from_raw(curr.as_raw() as *mut SkipNode<K, V>) };
             curr = node.next[0].load(ORD, &guard).with_tag(0);
         }
     }
@@ -470,10 +458,7 @@ mod tests {
         for k in [50u64, 20, 90, 10, 70, 30, 60, 40, 80] {
             assert!(s.insert(k, ()));
         }
-        assert_eq!(
-            s.keys_snapshot(),
-            vec![10, 20, 30, 40, 50, 60, 70, 80, 90]
-        );
+        assert_eq!(s.keys_snapshot(), vec![10, 20, 30, 40, 50, 60, 70, 80, 90]);
     }
 
     #[test]

@@ -30,7 +30,9 @@ fn batch(tree: &NbBst<u64, u64>) {
 
 fn f4(c: &mut Criterion) {
     let mut group = c.benchmark_group("F4_stats_overhead");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     group.throughput(criterion::Throughput::Elements(10_000));
     group.bench_function("stats_off", |b| {
         let tree: NbBst<u64, u64> = NbBst::new();

@@ -10,7 +10,9 @@ use std::time::Duration;
 
 fn micro(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro_ops");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
 
     for n in [1_000u64, 100_000] {
         // Prefilled structures.

@@ -10,7 +10,9 @@ use std::time::Duration;
 
 fn t1(c: &mut Criterion) {
     let mut group = c.benchmark_group("T1_scalability_90f5i5d");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let spec = WorkloadSpec::read_heavy(1 << 14);
     const OPS_PER_THREAD: u64 = 20_000;
 
@@ -19,22 +21,18 @@ fn t1(c: &mut Criterion) {
             group.throughput(criterion::Throughput::Elements(
                 OPS_PER_THREAD * threads as u64,
             ));
-            group.bench_with_input(
-                BenchmarkId::new(name, threads),
-                &threads,
-                |b, &threads| {
-                    b.iter_custom(|iters| {
-                        let mut total = Duration::ZERO;
-                        for _ in 0..iters {
-                            let map = make();
-                            prefill(&*map, &spec);
-                            let r = run_ops(&*map, &spec, threads, OPS_PER_THREAD);
-                            total += r.elapsed;
-                        }
-                        total
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let map = make();
+                        prefill(&*map, &spec);
+                        let r = run_ops(&*map, &spec, threads, OPS_PER_THREAD);
+                        total += r.elapsed;
+                    }
+                    total
+                });
+            });
         }
     }
     group.finish();

@@ -36,7 +36,9 @@ fn batch(tree: &NbBst<u64, u64>, threads: usize, disjoint: bool, total_range: u6
 
 fn t2(c: &mut Criterion) {
     let mut group = c.benchmark_group("T2_disjoint_vs_overlapping");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     const THREADS: usize = 4;
     const OPS: u64 = 20_000;
     const RANGE: u64 = 1 << 14;

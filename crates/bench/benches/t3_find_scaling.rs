@@ -7,7 +7,9 @@ use std::time::Duration;
 
 fn t3(c: &mut Criterion) {
     let mut group = c.benchmark_group("T3_find_only");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let spec = WorkloadSpec {
         mix: OpMix::READ_ONLY,
         ..WorkloadSpec::read_heavy(1 << 14)

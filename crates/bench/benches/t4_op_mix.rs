@@ -7,7 +7,9 @@ use std::time::Duration;
 
 fn t4(c: &mut Criterion) {
     let mut group = c.benchmark_group("T4_op_mix");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     const THREADS: usize = 4;
     const OPS_PER_THREAD: u64 = 20_000;
 

@@ -7,7 +7,9 @@ use std::time::Duration;
 
 fn t5(c: &mut Criterion) {
     let mut group = c.benchmark_group("T5_size_sweep");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     const THREADS: usize = 2;
     const OPS_PER_THREAD: u64 = 20_000;
 

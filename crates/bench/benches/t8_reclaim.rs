@@ -26,7 +26,9 @@ fn churn(tree: &NbBst<u64, u64>, ops: u64) {
 
 fn t8(c: &mut Criterion) {
     let mut group = c.benchmark_group("T8_reclamation");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     const OPS: u64 = 50_000;
 
     group.throughput(criterion::Throughput::Elements(OPS));

@@ -7,7 +7,9 @@ use std::time::Duration;
 
 fn t9(c: &mut Criterion) {
     let mut group = c.benchmark_group("T9_contention");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     const THREADS: usize = 4;
     const OPS_PER_THREAD: u64 = 15_000;
 
@@ -19,18 +21,21 @@ fn t9(c: &mut Criterion) {
         group.throughput(criterion::Throughput::Elements(
             OPS_PER_THREAD * THREADS as u64,
         ));
-        group.bench_function(BenchmarkId::new("nbbst_update_only", format!("2^{exp}")), |b| {
-            b.iter_custom(|iters| {
-                let mut total = Duration::ZERO;
-                for _ in 0..iters {
-                    let map = (nbbst_bench::scalable_structures()[0].1)();
-                    prefill(&*map, &spec);
-                    let r = run_ops(&*map, &spec, THREADS, OPS_PER_THREAD);
-                    total += r.elapsed;
-                }
-                total
-            });
-        });
+        group.bench_function(
+            BenchmarkId::new("nbbst_update_only", format!("2^{exp}")),
+            |b| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let map = (nbbst_bench::scalable_structures()[0].1)();
+                        prefill(&*map, &spec);
+                        let r = run_ops(&*map, &spec, THREADS, OPS_PER_THREAD);
+                        total += r.elapsed;
+                    }
+                    total
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -69,9 +69,7 @@ fn main() {
             }
         }
     }
-    println!(
-        "planted {planted} crashed operations (stalled after iflag / dflag / mark)\n"
-    );
+    println!("planted {planted} crashed operations (stalled after iflag / dflag / mark)\n");
 
     // Survivors run a conflicting update-heavy batch to completion.
     let start = Instant::now();
@@ -105,7 +103,10 @@ fn main() {
     ]);
     table.row_owned(vec!["elapsed".into(), format!("{elapsed:?}")]);
     table.row_owned(vec!["crashed circuits planted".into(), planted.to_string()]);
-    table.row_owned(vec!["Help() calls by survivors".into(), stats.helps.to_string()]);
+    table.row_owned(vec![
+        "Help() calls by survivors".into(),
+        stats.helps.to_string(),
+    ]);
     table.row_owned(vec![
         "help_insert / help_delete / help_marked".into(),
         format!(

@@ -16,7 +16,13 @@ use std::time::Instant;
 
 /// Runs an update-only loop where thread `t` draws keys from
 /// `[base_t, base_t + span_t)`.
-fn run(tree: &NbBst<u64, u64>, threads: usize, disjoint: bool, ms: u64, total_range: u64) -> (f64, u64) {
+fn run(
+    tree: &NbBst<u64, u64>,
+    threads: usize,
+    disjoint: bool,
+    ms: u64,
+    total_range: u64,
+) -> (f64, u64) {
     let stop = AtomicBool::new(false);
     let barrier = Barrier::new(threads + 1);
     let mut total = 0u64;

@@ -38,7 +38,10 @@ fn main() {
     while !at_leaf && !find.at_internal_keyed(&2) {
         at_leaf = find.step();
     }
-    assert!(find.at_internal_keyed(&2), "schedule setup: reach internal 2");
+    assert!(
+        find.at_internal_keyed(&2),
+        "schedule setup: reach internal 2"
+    );
 
     let mut adversary_updates = 0u64;
     let mut rounds_done = 0u64;

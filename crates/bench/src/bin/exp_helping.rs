@@ -19,7 +19,10 @@ fn main() {
         "Section 3 (helping strategy); Section 6 (amortized cost)",
     );
     let threads = args.threads.unwrap_or(8);
-    println!("update-only, {threads} threads, {} ms per cell\n", args.duration_ms);
+    println!(
+        "update-only, {threads} threads, {} ms per cell\n",
+        args.duration_ms
+    );
 
     let mut table = Table::new(&[
         "key range",
@@ -44,7 +47,10 @@ fn main() {
             format!("2^{exp}"),
             format!("{:.3}", r.mops()),
             format!("{:.5}", s.helps_per_update()),
-            format!("{:.5}", (s.insert_retries + s.delete_retries) as f64 / updates),
+            format!(
+                "{:.5}",
+                (s.insert_retries + s.delete_retries) as f64 / updates
+            ),
             format!("{:.5}", s.backtrack_success as f64 / updates),
             format!(
                 "{:.5}",

@@ -18,7 +18,9 @@ fn main() {
         "abstract (non-blocking progress) made visible in tail latency",
     );
     // Oversubscribe deliberately: lock-holder preemption is the phenomenon.
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let threads = args.threads.unwrap_or(hw * 8);
     let spec = WorkloadSpec {
         mix: OpMix::UPDATE_ONLY,

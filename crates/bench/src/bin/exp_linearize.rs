@@ -9,8 +9,7 @@
 use nbbst_core::NbBst;
 use nbbst_dictionary::ConcurrentMap;
 use nbbst_harness::{
-    check_linearizable, check_map_linearizable, record_history, KeyDist, OpMix, Table,
-    WorkloadSpec,
+    check_linearizable, check_map_linearizable, record_history, KeyDist, OpMix, Table, WorkloadSpec,
 };
 
 fn spec() -> WorkloadSpec {
@@ -33,9 +32,7 @@ fn main() {
         "linearizability of recorded concurrent histories",
         "abstract + Section 5 (linearization points)",
     );
-    println!(
-        "{rounds} histories x {threads} threads x {ops_per_thread} ops, keys in [0, 8)\n"
-    );
+    println!("{rounds} histories x {threads} threads x {ops_per_thread} ops, keys in [0, 8)\n");
 
     let mut table = Table::new(&["structure", "histories", "verdict"]);
 

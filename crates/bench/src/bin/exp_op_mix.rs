@@ -9,7 +9,11 @@ use nbbst_harness::{prefill, run_for, validate_after_run, OpMix, Table, Workload
 
 fn main() {
     let args = nbbst_bench::ExpArgs::parse(300);
-    nbbst_bench::banner("T4", "operation-mix sweep", "Section 3 (update cost: 1-2 flags)");
+    nbbst_bench::banner(
+        "T4",
+        "operation-mix sweep",
+        "Section 3 (update cost: 1-2 flags)",
+    );
     let threads = args.threads.unwrap_or(4);
     let key_range = args.key_range.unwrap_or(1 << 16);
     let mixes = [
@@ -18,7 +22,10 @@ fn main() {
         ("50f/25i/25d", OpMix::BALANCED),
         ("0f/50i/50d", OpMix::UPDATE_ONLY),
     ];
-    println!("threads={threads} key_range={key_range}; {} ms per cell\n", args.duration_ms);
+    println!(
+        "threads={threads} key_range={key_range}; {} ms per cell\n",
+        args.duration_ms
+    );
 
     let mut header: Vec<String> = vec!["structure".into()];
     header.extend(mixes.iter().map(|(n, _)| format!("{n} (Mops/s)")));

@@ -23,7 +23,10 @@ fn main() {
         mix: OpMix::UPDATE_ONLY,
         ..WorkloadSpec::read_heavy(args.key_range.unwrap_or(1 << 12))
     };
-    println!("workload: {spec} x {threads} threads, {} ms per cell\n", args.duration_ms);
+    println!(
+        "workload: {spec} x {threads} threads, {} ms per cell\n",
+        args.duration_ms
+    );
 
     let mut table = Table::new(&[
         "variant",
@@ -108,7 +111,10 @@ fn main() {
             "-".into(),
             after.retired.to_string(),
             after.freed.to_string(),
-            format!("{:.1}", 100.0 * after.freed as f64 / after.retired.max(1) as f64),
+            format!(
+                "{:.1}",
+                100.0 * after.freed as f64 / after.retired.max(1) as f64
+            ),
             after.epoch_advances.to_string(),
         ]);
     }

@@ -66,6 +66,8 @@ fn main() {
     }
     println!("{table}");
     println!("expected shape: height stays a small constant multiple of log2(n)");
-    println!("(the worst case is linear — the tree is unbalanced — but random fills are logarithmic,");
+    println!(
+        "(the worst case is linear — the tree is unbalanced — but random fills are logarithmic,"
+    );
     println!("matching the [19] citation), and throughput decreases gently with log(n).");
 }

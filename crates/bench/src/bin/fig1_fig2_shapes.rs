@@ -8,11 +8,7 @@
 use nbbst_core::NbBst;
 
 fn main() {
-    nbbst_bench::banner(
-        "F1/F2",
-        "insertion and deletion shapes",
-        "Figures 1 and 2",
-    );
+    nbbst_bench::banner("F1/F2", "insertion and deletion shapes", "Figures 1 and 2");
 
     let tree: NbBst<u64, &str> = NbBst::new();
     tree.insert_entry(20, "B").unwrap();
@@ -24,10 +20,14 @@ fn main() {
     println!("{}", tree.render());
     tree.check_invariants().expect("invariants after insert");
 
-    println!("--- Figure 2: Delete(C=30) removes the leaf and its parent; the sibling moves up ---");
+    println!(
+        "--- Figure 2: Delete(C=30) removes the leaf and its parent; the sibling moves up ---"
+    );
     assert!(tree.remove_key(&30));
     println!("{}", tree.render());
     tree.check_invariants().expect("invariants after delete");
 
-    println!("F1/F2 reproduced: shapes match Figures 1 and 2 (see tests/shapes.rs for the assertions).");
+    println!(
+        "F1/F2 reproduced: shapes match Figures 1 and 2 (see tests/shapes.rs for the assertions)."
+    );
 }

@@ -96,7 +96,10 @@ fn efrb_fig3b() {
     println!(
         "Delete(C)'s stale attempt was rejected {stale_rejections} time(s) before a fresh retry succeeded"
     );
-    assert!(stale_rejections > 0, "the protocol must detect the stale snapshot");
+    assert!(
+        stale_rejections > 0,
+        "the protocol must detect the stale snapshot"
+    );
     println!(
         "after both deletes: contains(C)={} contains(E)={} (both false -- no anomaly)",
         t.contains_key(&C),
@@ -121,7 +124,10 @@ fn efrb_fig3c() {
     assert!(del_e.flag());
 
     let mut ins_f = RawInsert::new(&t, F, F);
-    assert!(ins_f.search().is_ready(), "F's parent is not the flagged node here");
+    assert!(
+        ins_f.search().is_ready(),
+        "F's parent is not the flagged node here"
+    );
     assert!(ins_f.flag());
     assert!(ins_f.execute_child());
     assert!(ins_f.unflag());

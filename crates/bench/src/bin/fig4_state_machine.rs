@@ -9,7 +9,7 @@
 //! `mark = dchild = dunflag`).
 
 use nbbst_core::NbBst;
-use nbbst_harness::{prefill, run_for, OpMix, WorkloadSpec, Table};
+use nbbst_harness::{prefill, run_for, OpMix, Table, WorkloadSpec};
 
 fn main() {
     let args = nbbst_bench::ExpArgs::parse(500);
@@ -36,19 +36,43 @@ fn main() {
 
     let mut table = Table::new(&["transition (Figure 4 edge)", "CAS type", "successes"]);
     table.row(&["Clean -> IFlag", "iflag", &s.iflag_success.to_string()]);
-    table.row(&["child swing (insert)", "ichild", &s.ichild_success.to_string()]);
+    table.row(&[
+        "child swing (insert)",
+        "ichild",
+        &s.ichild_success.to_string(),
+    ]);
     table.row(&["IFlag -> Clean", "iunflag", &s.iunflag_success.to_string()]);
     table.row(&["Clean -> DFlag", "dflag", &s.dflag_success.to_string()]);
-    table.row(&["Clean -> Mark (child of flagged gp)", "mark", &s.mark_success.to_string()]);
-    table.row(&["child swing (delete)", "dchild", &s.dchild_success.to_string()]);
-    table.row(&["DFlag -> Clean (after dchild)", "dunflag", &s.dunflag_success.to_string()]);
-    table.row(&["DFlag -> Clean (mark failed)", "backtrack", &s.backtrack_success.to_string()]);
+    table.row(&[
+        "Clean -> Mark (child of flagged gp)",
+        "mark",
+        &s.mark_success.to_string(),
+    ]);
+    table.row(&[
+        "child swing (delete)",
+        "dchild",
+        &s.dchild_success.to_string(),
+    ]);
+    table.row(&[
+        "DFlag -> Clean (after dchild)",
+        "dunflag",
+        &s.dunflag_success.to_string(),
+    ]);
+    table.row(&[
+        "DFlag -> Clean (mark failed)",
+        "backtrack",
+        &s.backtrack_success.to_string(),
+    ]);
     println!("{table}");
 
     println!("attempt/success rates:");
     println!(
         "  iflag {}/{}  dflag {}/{}  mark {}/{}",
-        s.iflag_success, s.iflag_attempts, s.dflag_success, s.dflag_attempts, s.mark_success,
+        s.iflag_success,
+        s.iflag_attempts,
+        s.dflag_success,
+        s.dflag_attempts,
+        s.mark_success,
         s.mark_attempts
     );
     println!(
@@ -60,10 +84,16 @@ fn main() {
     s.check_figure4().expect("Figure 4 identities");
     tree.check_invariants().expect("structural invariants");
     println!("\nF4 verified: all observed transitions satisfy the Figure 4 circuit identities:");
-    println!("  iflag = ichild = iunflag            ({} each)", s.iflag_success);
+    println!(
+        "  iflag = ichild = iunflag            ({} each)",
+        s.iflag_success
+    );
     println!(
         "  dflag = mark + backtrack            ({} = {} + {})",
         s.dflag_success, s.mark_success, s.backtrack_success
     );
-    println!("  mark = dchild = dunflag             ({} each)", s.mark_success);
+    println!(
+        "  mark = dchild = dunflag             ({} each)",
+        s.mark_success
+    );
 }

@@ -41,14 +41,19 @@ fn main() {
     println!("snapshot with both operations in flight (compare Figure 5):");
     println!("{}", t.render());
     let dflagged = t.state_of_internal(&30); // E's grandparent region
-    println!("  (one internal shows DFlag with a DInfo record, one shows IFlag with an IInfo record)");
+    println!(
+        "  (one internal shows DFlag with a DInfo record, one shows IFlag with an IInfo record)"
+    );
     let _ = dflagged;
 
     // Paper: "The Insert is now guaranteed to succeed."
     assert!(ins.execute_child());
     assert!(ins.unflag());
     drop(ins);
-    println!("Insert(F) completed: contains(60) = {}", t.contains_key(&60));
+    println!(
+        "Insert(F) completed: contains(60) = {}",
+        t.contains_key(&60)
+    );
     assert!(t.contains_key(&60));
 
     // Paper: "The Delete operation is doomed to fail: ... the mark CAS

@@ -31,7 +31,10 @@ fn main() {
     for k in [5u64, 2, 8] {
         assert!(t.remove_key(&k));
     }
-    println!("after deleting everything, the Figure 6(a) shape returns:\n{}", t.render());
+    println!(
+        "after deleting everything, the Figure 6(a) shape returns:\n{}",
+        t.render()
+    );
     assert_eq!(t.len_slow(), 0);
     assert_eq!(t.height(), 1, "exactly the two sentinel leaves remain");
     t.check_invariants().unwrap();

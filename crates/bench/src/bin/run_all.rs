@@ -65,10 +65,17 @@ fn main() {
     }
 
     let mut f = std::fs::File::create("results/experiments.txt").expect("open transcript");
-    f.write_all(transcript.as_bytes()).expect("write transcript");
-    println!("\ntranscript written to results/experiments.txt ({} bytes)", transcript.len());
+    f.write_all(transcript.as_bytes())
+        .expect("write transcript");
+    println!(
+        "\ntranscript written to results/experiments.txt ({} bytes)",
+        transcript.len()
+    );
     if failures.is_empty() {
-        println!("all {} experiments completed successfully", EXPERIMENTS.len());
+        println!(
+            "all {} experiments completed successfully",
+            EXPERIMENTS.len()
+        );
     } else {
         println!("FAILED experiments: {failures:?}");
         std::process::exit(1);

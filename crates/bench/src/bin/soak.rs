@@ -107,7 +107,11 @@ fn main() {
             eprintln!("cycle {cycle}: INVARIANT VIOLATION: {e}");
             std::process::exit(1);
         }
-        if let Err(e) = tree.stats().expect("stats").check_figure4_allowing_abandoned() {
+        if let Err(e) = tree
+            .stats()
+            .expect("stats")
+            .check_figure4_allowing_abandoned()
+        {
             eprintln!("cycle {cycle}: FIGURE-4 VIOLATION: {e}");
             std::process::exit(1);
         }

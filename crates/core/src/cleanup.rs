@@ -138,7 +138,10 @@ mod tests {
             writer.join().unwrap();
         });
         t.check_invariants().unwrap();
-        t.stats().unwrap().check_figure4_allowing_abandoned().unwrap();
+        t.stats()
+            .unwrap()
+            .check_figure4_allowing_abandoned()
+            .unwrap();
     }
 
     #[test]
@@ -155,6 +158,9 @@ mod tests {
             assert!(!t.contains_with_cleanup(&k));
         }
         t.check_invariants().unwrap();
-        t.stats().unwrap().check_figure4_allowing_abandoned().unwrap();
+        t.stats()
+            .unwrap()
+            .check_figure4_allowing_abandoned()
+            .unwrap();
     }
 }

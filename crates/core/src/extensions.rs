@@ -226,7 +226,10 @@ mod tests {
     fn range_snapshot_bounds() {
         let t = tree(&[1, 3, 5, 7, 9]);
         let all = t.range_snapshot(Bound::Unbounded, Bound::Unbounded);
-        assert_eq!(all.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![1, 3, 5, 7, 9]);
+        assert_eq!(
+            all.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![1, 3, 5, 7, 9]
+        );
 
         let inc = t.range_snapshot(Bound::Included(&3), Bound::Included(&7));
         assert_eq!(inc, vec![(3, 30), (5, 50), (7, 70)]);

@@ -43,8 +43,8 @@
 mod cleanup;
 mod extensions;
 mod node;
-mod set;
 pub mod raw;
+mod set;
 mod state;
 mod stats;
 mod tree;
@@ -191,7 +191,9 @@ mod tests {
                 s.spawn(move || {
                     let mut x = tid * 7 + 1;
                     for i in 0..2_000u64 {
-                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        x = x
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
                         let k = (x >> 33) % 2;
                         if (x >> 7) % 2 == 0 {
                             t.insert(k, i);
@@ -208,7 +210,10 @@ mod tests {
         // The planted corpse guarantees at least one help (plus whatever
         // genuine contention produced).
         assert!(stats.helps > 0, "expected helping, got {stats:?}");
-        assert!(t.contains_key(&2), "the crashed insert was completed by a helper");
+        assert!(
+            t.contains_key(&2),
+            "the crashed insert was completed by a helper"
+        );
     }
 
     #[test]

@@ -14,10 +14,13 @@ use nbbst_reclaim::{Atomic, Guard, Shared};
 use std::fmt;
 use std::sync::atomic::Ordering;
 
-/// All CAS words in the tree use sequentially-consistent orderings; the
-/// paper's proof reasons under sequential consistency and the hot-path cost
-/// on x86/ARM is dominated by the RMWs themselves.
-pub(crate) const ORD: Ordering = Ordering::SeqCst;
+// Memory orderings are chosen per call site (there is deliberately no
+// blanket `SeqCst` constant): traversal loads whose result is dereferenced
+// use `Acquire`; CASes that publish a node or Info record use `Release` on
+// success, with `Acquire` on failure only where the observed value is then
+// helped (dereferenced); pre-publication initialization and exclusive
+// teardown use `Relaxed`. The site-by-site table, and the loom scenario
+// justifying each choice, live in DESIGN.md ("Memory orderings").
 
 /// A node of the EFRB tree (the paper's `Internal` and `Leaf` types fused;
 /// Figure 7 lines 5–13).
@@ -74,7 +77,8 @@ impl<K, V> Node<K, V> {
         };
         // SAFETY: plain initialization stores before publication.
         unsafe {
-            node.left.store(Shared::from_data(left as usize), Ordering::Relaxed);
+            node.left
+                .store(Shared::from_data(left as usize), Ordering::Relaxed);
             node.right
                 .store(Shared::from_data(right as usize), Ordering::Relaxed);
         }
@@ -82,18 +86,26 @@ impl<K, V> Node<K, V> {
     }
 
     /// Loads this internal node's update word.
+    ///
+    /// `Acquire`: a non-Clean word's Info record is dereferenced by helpers,
+    /// so this load must synchronize with the `Release` flag CAS that
+    /// published the record.
     pub(crate) fn load_update<'g>(&self, guard: &'g Guard) -> UpdateRef<'g, K, V> {
         debug_assert!(!self.is_leaf, "leaves have no update field");
-        self.update.load(ORD, guard)
+        self.update.load(Ordering::Acquire, guard)
     }
 
     /// Loads a child pointer. Internal nodes' children are never null.
+    ///
+    /// `Acquire`: the child is dereferenced by every traversal, so this load
+    /// must synchronize with the `Release` ichild/dchild CAS that spliced
+    /// the node in (which is what makes its initialization visible).
     pub(crate) fn load_child<'g>(&self, left: bool, guard: &'g Guard) -> Shared<'g, Node<K, V>> {
         debug_assert!(!self.is_leaf, "leaves have no children");
         if left {
-            self.left.load(ORD, guard)
+            self.left.load(Ordering::Acquire, guard)
         } else {
-            self.right.load(ORD, guard)
+            self.right.load(Ordering::Acquire, guard)
         }
     }
 }
@@ -257,11 +269,8 @@ mod tests {
     fn update_word_state_roundtrips_through_tags() {
         let collector = Collector::new();
         let guard = collector.pin();
-        let n: Node<u64, u64> = Node::internal(
-            SentinelKey::Inf2,
-            std::ptr::null(),
-            std::ptr::null(),
-        );
+        let n: Node<u64, u64> =
+            Node::internal(SentinelKey::Inf2, std::ptr::null(), std::ptr::null());
         let clean = n.load_update(&guard);
         assert_eq!(clean.state(), State::Clean);
 
@@ -272,7 +281,7 @@ mod tests {
         }))
         .with_tag(State::IFlag.tag());
         n.update
-            .compare_exchange(clean, info, ORD, ORD, &guard)
+            .compare_exchange(clean, info, Ordering::Release, Ordering::Relaxed, &guard)
             .expect("flag an unflagged node");
         let flagged = n.load_update(&guard);
         assert_eq!(flagged.state(), State::IFlag);

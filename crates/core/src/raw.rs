@@ -44,12 +44,13 @@
 //! tree.check_invariants().unwrap();
 //! ```
 
-use crate::node::{DInfo, IInfo, Info, Node, UpdateRef, UpdateWordExt, ORD};
+use crate::node::{DInfo, IInfo, Info, Node, UpdateRef, UpdateWordExt};
 use crate::state::State;
 use crate::tree::NbBst;
 use nbbst_dictionary::SentinelKey;
 use nbbst_reclaim::{Guard, Owned, Shared};
 use std::fmt;
+use std::sync::atomic::Ordering;
 
 /// Result of a stepped insert's `Search` phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -209,14 +210,16 @@ where
     ///
     /// Panics if called before a successful [`RawInsert::search`].
     pub fn flag(&mut self) -> bool {
-        assert_eq!(self.phase, InsertPhase::Searched, "flag() requires search()");
+        assert_eq!(
+            self.phase,
+            InsertPhase::Searched,
+            "flag() requires search()"
+        );
         // Build the Figure 1 replacement subtree (lines 52–54).
         // SAFETY: `l` is guard-protected since our search read it.
         let l_ref = unsafe { &*self.l };
-        let new_sibling = Box::into_raw(Box::new(Node::leaf(
-            l_ref.key.clone(),
-            l_ref.value.clone(),
-        )));
+        let new_sibling =
+            Box::into_raw(Box::new(Node::leaf(l_ref.key.clone(), l_ref.value.clone())));
         let new_key = SentinelKey::Key(self.key.clone());
         let (routing, left, right) = if new_key < l_ref.key {
             (
@@ -239,10 +242,15 @@ where
         // SAFETY: `p` is guard-protected since our search read it.
         let p_ref = unsafe { &*self.p };
         let expected: UpdateRef<'_, K, V> = unsafe { Shared::from_data(self.pupdate_bits) };
-        match p_ref
-            .update
-            .compare_exchange(expected, op, ORD, ORD, &self.guard)
-        {
+        // Release publishes the fresh IInfo record; the stepped driver does
+        // not help on failure, so the failed value needs no Acquire.
+        match p_ref.update.compare_exchange(
+            expected,
+            op,
+            Ordering::Release,
+            Ordering::Relaxed,
+            &self.guard,
+        ) {
             Ok(word) => {
                 self.tree.bump_stat(|s| &s.iflag_success);
                 // Once flagged, the insertion is guaranteed to complete
@@ -285,8 +293,7 @@ where
         let info = unsafe { op_word.deref() }.as_insert();
         let p = unsafe { &*info.p };
         let l: Shared<'_, Node<K, V>> = unsafe { Shared::from_data(info.l as usize) };
-        let new: Shared<'_, Node<K, V>> =
-            unsafe { Shared::from_data(info.new_internal as usize) };
+        let new: Shared<'_, Node<K, V>> = unsafe { Shared::from_data(info.new_internal as usize) };
         let won = self.tree.cas_child(p, l, new, &self.guard);
         if won {
             self.tree.bump_stat(|s| &s.ichild_success);
@@ -315,9 +322,16 @@ where
         let p = unsafe { &*info.p };
         let expected = op_word.with_tag(State::IFlag.tag());
         let clean = op_word.with_tag(State::Clean.tag());
+        // Release: observers of Clean must also see the ichild splice.
         let won = p
             .update
-            .compare_exchange(expected, clean, ORD, ORD, &self.guard)
+            .compare_exchange(
+                expected,
+                clean,
+                Ordering::Release,
+                Ordering::Relaxed,
+                &self.guard,
+            )
             .is_ok();
         if won {
             self.tree.bump_stat(|s| &s.iunflag_success);
@@ -476,7 +490,11 @@ where
     ///
     /// Panics if called before a successful [`RawDelete::search`].
     pub fn flag(&mut self) -> bool {
-        assert_eq!(self.phase, DeletePhase::Searched, "flag() requires search()");
+        assert_eq!(
+            self.phase,
+            DeletePhase::Searched,
+            "flag() requires search()"
+        );
         let op = Owned::new(Info::Delete(DInfo {
             gp: self.gp,
             p: self.p,
@@ -488,10 +506,14 @@ where
         // SAFETY: guard-protected since search.
         let gp_ref = unsafe { &*self.gp };
         let expected: UpdateRef<'_, K, V> = unsafe { Shared::from_data(self.gpupdate_bits) };
-        match gp_ref
-            .update
-            .compare_exchange(expected, op, ORD, ORD, &self.guard)
-        {
+        // Release publishes the fresh DInfo record; no helping on failure.
+        match gp_ref.update.compare_exchange(
+            expected,
+            op,
+            Ordering::Release,
+            Ordering::Relaxed,
+            &self.guard,
+        ) {
             Ok(word) => {
                 self.tree.bump_stat(|s| &s.dflag_success);
                 self.op = word.as_raw();
@@ -519,10 +541,15 @@ where
         let expected = info.pupdate_word(&self.guard);
         let mark_word = op_word.with_tag(State::Mark.tag());
         self.tree.bump_stat(|s| &s.mark_attempts);
-        match p
-            .update
-            .compare_exchange(expected, mark_word, ORD, ORD, &self.guard)
-        {
+        // Release publishes the Mark; the failed value is only compared
+        // bit-for-bit against `mark_word`, never dereferenced, so Relaxed.
+        match p.update.compare_exchange(
+            expected,
+            mark_word,
+            Ordering::Release,
+            Ordering::Relaxed,
+            &self.guard,
+        ) {
             Ok(_) => {
                 self.tree.bump_stat(|s| &s.mark_success);
                 // Once marked, the deletion is guaranteed to complete
@@ -598,9 +625,16 @@ where
         let gp = unsafe { &*info.gp };
         let dflag = op_word.with_tag(State::DFlag.tag());
         let clean = op_word.with_tag(State::Clean.tag());
+        // Release: observers of Clean must also see the dchild splice.
         let won = gp
             .update
-            .compare_exchange(dflag, clean, ORD, ORD, &self.guard)
+            .compare_exchange(
+                dflag,
+                clean,
+                Ordering::Release,
+                Ordering::Relaxed,
+                &self.guard,
+            )
             .is_ok();
         if won {
             self.tree.bump_stat(|s| &s.dunflag_success);
@@ -632,9 +666,16 @@ where
         let gp = unsafe { &*info.gp };
         let dflag = op_word.with_tag(State::DFlag.tag());
         let clean = op_word.with_tag(State::Clean.tag());
+        // Release pairs with helpers' Acquire loads observing Clean.
         let won = gp
             .update
-            .compare_exchange(dflag, clean, ORD, ORD, &self.guard)
+            .compare_exchange(
+                dflag,
+                clean,
+                Ordering::Release,
+                Ordering::Relaxed,
+                &self.guard,
+            )
             .is_ok();
         if won {
             self.tree.bump_stat(|s| &s.backtrack_success);

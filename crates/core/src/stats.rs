@@ -154,28 +154,56 @@ impl StatsSnapshot {
             // a circuit happens at most as often as the one before it; and
             // completed-op counts trail their child CASes.
             le("ichild <= iflag", self.ichild_success, self.iflag_success)?;
-            le("iunflag <= ichild", self.iunflag_success, self.ichild_success)?;
+            le(
+                "iunflag <= ichild",
+                self.iunflag_success,
+                self.ichild_success,
+            )?;
             le(
                 "mark + backtrack <= dflag",
                 self.mark_success + self.backtrack_success,
                 self.dflag_success,
             )?;
             le("dchild <= mark", self.dchild_success, self.mark_success)?;
-            le("dunflag <= dchild", self.dunflag_success, self.dchild_success)?;
-            le("inserts_true <= iflag", self.inserts_true, self.iflag_success)?;
+            le(
+                "dunflag <= dchild",
+                self.dunflag_success,
+                self.dchild_success,
+            )?;
+            le(
+                "inserts_true <= iflag",
+                self.inserts_true,
+                self.iflag_success,
+            )?;
             le("deletes_true <= mark", self.deletes_true, self.mark_success)?;
         } else {
             eq("iflag = ichild", self.iflag_success, self.ichild_success)?;
-            eq("ichild = iunflag", self.ichild_success, self.iunflag_success)?;
+            eq(
+                "ichild = iunflag",
+                self.ichild_success,
+                self.iunflag_success,
+            )?;
             eq(
                 "dflag = mark + backtrack",
                 self.dflag_success,
                 self.mark_success + self.backtrack_success,
             )?;
             eq("mark = dchild", self.mark_success, self.dchild_success)?;
-            eq("dchild = dunflag", self.dchild_success, self.dunflag_success)?;
-            eq("inserts_true = ichild", self.inserts_true, self.ichild_success)?;
-            eq("deletes_true = dchild", self.deletes_true, self.dchild_success)?;
+            eq(
+                "dchild = dunflag",
+                self.dchild_success,
+                self.dunflag_success,
+            )?;
+            eq(
+                "inserts_true = ichild",
+                self.inserts_true,
+                self.ichild_success,
+            )?;
+            eq(
+                "deletes_true = dchild",
+                self.deletes_true,
+                self.dchild_success,
+            )?;
         }
         if self.iflag_success > self.iflag_attempts {
             return Err("iflag successes exceed attempts".into());

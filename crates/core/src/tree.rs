@@ -8,7 +8,7 @@
 //! collector at exactly the points the paper's Section 6 prescribes
 //! (child CAS for nodes, unflag/backtrack CAS for Info records).
 
-use crate::node::{Info, Node, UpdateRef, UpdateWordExt, DInfo, IInfo, ORD};
+use crate::node::{DInfo, IInfo, Info, Node, UpdateRef, UpdateWordExt};
 use crate::state::State;
 use crate::stats::{StatsSnapshot, TreeStats};
 use nbbst_dictionary::{real_vs_node, ConcurrentMap, SentinelKey};
@@ -248,8 +248,10 @@ where
     /// `Insert` returns `False`; we additionally hand the inputs back).
     pub fn insert_entry(&self, key: K, value: V) -> Result<(), (K, V)> {
         // Line 44: the new leaf is allocated once, before the retry loop.
-        let new_leaf =
-            Box::into_raw(Box::new(Node::leaf(SentinelKey::Key(key.clone()), Some(value))));
+        let new_leaf = Box::into_raw(Box::new(Node::leaf(
+            SentinelKey::Key(key.clone()),
+            Some(value),
+        )));
 
         loop {
             let guard = self.pin();
@@ -275,13 +277,15 @@ where
             }
 
             // Lines 52–54: build the replacement subtree of Figure 1.
-            let new_sibling = Box::into_raw(Box::new(Node::leaf(
-                l_ref.key.clone(),
-                l_ref.value.clone(),
-            )));
+            let new_sibling =
+                Box::into_raw(Box::new(Node::leaf(l_ref.key.clone(), l_ref.value.clone())));
             let new_key = SentinelKey::Key(key.clone());
             let (routing, left, right) = if new_key < l_ref.key {
-                (l_ref.key.clone(), new_leaf as *const _, new_sibling as *const _)
+                (
+                    l_ref.key.clone(),
+                    new_leaf as *const _,
+                    new_sibling as *const _,
+                )
             } else {
                 (new_key, new_sibling as *const _, new_leaf as *const _)
             };
@@ -298,10 +302,16 @@ where
             // Line 56: the iflag CAS.
             self.bump(|st| &st.iflag_attempts);
             let p_ref = unsafe { s.p.deref() };
-            match p_ref
-                .update
-                .compare_exchange(s.pupdate, op, ORD, ORD, &guard)
-            {
+            // Release publishes the fresh IInfo record (and the subtree it
+            // points to) to helpers; Acquire on failure because the observed
+            // word is helped (dereferenced) below.
+            match p_ref.update.compare_exchange(
+                s.pupdate,
+                op,
+                AtomicOrdering::Release,
+                AtomicOrdering::Acquire,
+                &guard,
+            ) {
                 Ok(op_word) => {
                     // Lines 57–59: flag won; finish and report success.
                     self.bump(|st| &st.iflag_success);
@@ -379,10 +389,15 @@ where
             // Line 81: the dflag CAS.
             self.bump(|st| &st.dflag_attempts);
             let gp_ref = unsafe { s.gp.deref() };
-            match gp_ref
-                .update
-                .compare_exchange(s.gpupdate, op, ORD, ORD, &guard)
-            {
+            // Release publishes the fresh DInfo record; Acquire on failure
+            // because the observed word is helped (dereferenced) below.
+            match gp_ref.update.compare_exchange(
+                s.gpupdate,
+                op,
+                AtomicOrdering::Release,
+                AtomicOrdering::Acquire,
+                &guard,
+            ) {
                 Ok(op_word) => {
                     self.bump(|st| &st.dflag_success);
                     // Clone the value before the leaf can be retired; the
@@ -453,8 +468,16 @@ where
         // CAS takes place").
         let expected = op.with_tag(State::IFlag.tag());
         let clean = op.with_tag(State::Clean.tag());
+        // Release: a thread that Acquire-loads the Clean word must also see
+        // the ichild splice that preceded it. The failure value is ignored.
         if p.update
-            .compare_exchange(expected, clean, ORD, ORD, guard)
+            .compare_exchange(
+                expected,
+                clean,
+                AtomicOrdering::Release,
+                AtomicOrdering::Relaxed,
+                guard,
+            )
             .is_ok()
         {
             self.bump(|st| &st.iunflag_success);
@@ -482,9 +505,16 @@ where
         let expected = info.pupdate_word(guard);
         let mark_word = op.with_tag(State::Mark.tag());
         self.bump(|st| &st.mark_attempts);
-        let outcome = p
-            .update
-            .compare_exchange(expected, mark_word, ORD, ORD, guard);
+        // Release publishes the Mark (pointing at the already-published
+        // DInfo); Acquire on failure because the observed word is helped
+        // (dereferenced) in the backtrack arm below.
+        let outcome = p.update.compare_exchange(
+            expected,
+            mark_word,
+            AtomicOrdering::Release,
+            AtomicOrdering::Acquire,
+            guard,
+        );
 
         let marked_by_us = outcome.is_ok();
         let already_marked_for_op = matches!(&outcome, Err(e) if e.current == mark_word);
@@ -507,9 +537,17 @@ where
             // can retry from scratch.
             let dflag = op.with_tag(State::DFlag.tag());
             let clean = op.with_tag(State::Clean.tag());
+            // Release pairs with the Acquire loads of helpers that observe
+            // Clean; the failure value is ignored.
             if gp
                 .update
-                .compare_exchange(dflag, clean, ORD, ORD, guard)
+                .compare_exchange(
+                    dflag,
+                    clean,
+                    AtomicOrdering::Release,
+                    AtomicOrdering::Relaxed,
+                    guard,
+                )
                 .is_ok()
             {
                 self.bump(|st| &st.backtrack_success);
@@ -561,9 +599,17 @@ where
         // Line 106: the dunflag CAS; winner retires the DInfo record.
         let dflag = op.with_tag(State::DFlag.tag());
         let clean = op.with_tag(State::Clean.tag());
+        // Release: a thread that Acquire-loads the Clean word must also see
+        // the dchild splice that preceded it. The failure value is ignored.
         if gp
             .update
-            .compare_exchange(dflag, clean, ORD, ORD, guard)
+            .compare_exchange(
+                dflag,
+                clean,
+                AtomicOrdering::Release,
+                AtomicOrdering::Relaxed,
+                guard,
+            )
             .is_ok()
         {
             self.bump(|st| &st.dunflag_success);
@@ -591,7 +637,17 @@ where
         } else {
             &parent.right //                               line 117
         };
-        slot.compare_exchange(old, new, ORD, ORD, guard).is_ok()
+        // Release publishes the spliced node's initialization (for ichild,
+        // the whole fresh subtree) to Acquire-loading traversals; the
+        // failure value is ignored (a helper already did the splice).
+        slot.compare_exchange(
+            old,
+            new,
+            AtomicOrdering::Release,
+            AtomicOrdering::Relaxed,
+            guard,
+        )
+        .is_ok()
     }
 }
 
@@ -691,8 +747,9 @@ impl<K, V> Drop for NbBst<K, V> {
                     unsafe {
                         let guard = nbbst_reclaim::unprotected();
                         let internal = Box::from_raw(ni as *mut Node<K, V>);
-                        let l = internal.left.load(ORD, &guard);
-                        let r = internal.right.load(ORD, &guard);
+                        // Relaxed: teardown holds exclusive access.
+                        let l = internal.left.load(AtomicOrdering::Relaxed, &guard);
+                        let r = internal.right.load(AtomicOrdering::Relaxed, &guard);
                         // One of the children may be reachable... it cannot
                         // be: new_internal's children are the fresh leaf and
                         // fresh sibling, allocated by the stalled insert.
@@ -724,15 +781,16 @@ fn collect_node_edges<K, V>(
 ) {
     // SAFETY: teardown-only, single-threaded.
     let guard = unsafe { nbbst_reclaim::unprotected() };
-    let l = node.left.load(ORD, &guard);
-    let r = node.right.load(ORD, &guard);
+    // Relaxed: teardown holds exclusive access.
+    let l = node.left.load(AtomicOrdering::Relaxed, &guard);
+    let r = node.right.load(AtomicOrdering::Relaxed, &guard);
     if !l.is_null() {
         stack.push(l.as_raw() as *mut Node<K, V>);
     }
     if !r.is_null() {
         stack.push(r.as_raw() as *mut Node<K, V>);
     }
-    let u = node.update.load(ORD, &guard);
+    let u = node.update.load(AtomicOrdering::Relaxed, &guard);
     if State::from_tag(u.tag()) != State::Clean && !u.is_null() {
         flagged_infos.insert(u.as_raw() as *mut Info<K, V>);
     }

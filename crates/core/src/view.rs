@@ -255,8 +255,7 @@ where
             if cur.key.as_key() == Some(key) {
                 return Some(cur.load_update(&guard).state());
             }
-            let go_left = nbbst_dictionary::real_vs_node(key, &cur.key)
-                == std::cmp::Ordering::Less;
+            let go_left = nbbst_dictionary::real_vs_node(key, &cur.key) == std::cmp::Ordering::Less;
             // SAFETY: reachable child under pin.
             cur = unsafe { cur.load_child(go_left, &guard).deref() };
         }
@@ -301,7 +300,10 @@ mod tests {
         assert!(r.contains("(∞2)"), "{r}");
         assert!(r.contains("[10]"), "{r}");
         assert!(r.contains("[∞1]"), "{r}");
-        assert!(!r.contains("IFlag"), "quiet tree has no state annotations: {r}");
+        assert!(
+            !r.contains("IFlag"),
+            "quiet tree has no state annotations: {r}"
+        );
     }
 
     #[test]

@@ -1,0 +1,291 @@
+//! Exhaustive model-checking of the EFRB flag/mark protocol.
+//!
+//! Build and run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p nbbst-core --test loom_protocol --release
+//! ```
+//!
+//! Under `--cfg loom`, every atomic in `nbbst-reclaim` (and therefore every
+//! update-word / child-pointer CAS in this crate, plus the epoch machinery
+//! underneath) becomes a scheduling point, and `loom::model` enumerates
+//! thread interleavings depth-first with CHESS-style preemption bounding.
+//! Each scenario asserts, **in every explored execution**:
+//!
+//! * the dictionary semantics of the final state,
+//! * the paper's Figure 4 CAS-counter identities (each iflag has exactly
+//!   one ichild and one iunflag; each dflag exactly one mark + dchild +
+//!   dunflag or one backtrack), and
+//! * a value-drop balance after the tree and its collector are torn down
+//!   (no leak, no double-free).
+//!
+//! The scenarios deliberately build *tiny* trees (one to three keys) so the
+//! schedule space stays exhaustively explorable: each CAS contention
+//! window of the protocol appears within the first few levels of the tree.
+
+#![cfg(loom)]
+
+use nbbst_core::NbBst;
+use std::sync::atomic::{AtomicIsize, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A value that tracks clones minus drops in a shared counter: if the tree
+/// leaks a leaf, the balance stays positive; if it double-frees one, the
+/// balance goes negative (or the run crashes outright under the checker).
+#[derive(Debug)]
+struct Token {
+    live: Arc<AtomicIsize>,
+}
+
+impl Token {
+    fn new(live: &Arc<AtomicIsize>) -> Token {
+        live.fetch_add(1, Ordering::Relaxed);
+        Token {
+            live: Arc::clone(live),
+        }
+    }
+}
+
+impl Clone for Token {
+    fn clone(&self) -> Token {
+        self.live.fetch_add(1, Ordering::Relaxed);
+        Token {
+            live: Arc::clone(&self.live),
+        }
+    }
+}
+
+impl Drop for Token {
+    fn drop(&mut self) {
+        self.live.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Scenario 1 — **insert/insert on one leaf** (the iflag contention
+/// window). On the two-sentinel initial tree both inserts race to flag
+/// the same parent: one wins the iflag CAS, the loser helps and retries.
+#[test]
+fn insert_insert_same_leaf() {
+    loom::model(|| {
+        let live = Arc::new(AtomicIsize::new(0));
+        {
+            let tree = Arc::new(NbBst::<u64, Token>::with_stats());
+            let handles: Vec<_> = [1u64, 2]
+                .into_iter()
+                .map(|k| {
+                    let tree = Arc::clone(&tree);
+                    let live = Arc::clone(&live);
+                    loom::thread::spawn(move || {
+                        tree.insert_entry(k, Token::new(&live))
+                            .unwrap_or_else(|_| panic!("insert {k} on fresh key failed"));
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert!(tree.contains_key(&1) && tree.contains_key(&2));
+            tree.stats()
+                .expect("stats enabled")
+                .check_figure4()
+                .expect("Figure 4 identities");
+        }
+        assert_eq!(
+            live.load(Ordering::Relaxed),
+            0,
+            "value leak or double-free after teardown"
+        );
+    });
+}
+
+/// Scenario 2 — **delete/insert on adjacent nodes**: the deletion of key 1
+/// (grandparent dflag + parent mark) races an insert of key 3 arriving in
+/// the same corner of the tree, covering the dflag-vs-iflag and
+/// mark-vs-ichild contention windows.
+#[test]
+fn delete_insert_adjacent() {
+    loom::model(|| {
+        let live = Arc::new(AtomicIsize::new(0));
+        {
+            let tree = Arc::new(NbBst::<u64, Token>::with_stats());
+            tree.insert_entry(1, Token::new(&live)).unwrap();
+            tree.insert_entry(2, Token::new(&live)).unwrap();
+
+            let deleter = {
+                let tree = Arc::clone(&tree);
+                loom::thread::spawn(move || {
+                    assert!(tree.remove_key(&1), "1 was inserted before the race");
+                })
+            };
+            let inserter = {
+                let tree = Arc::clone(&tree);
+                let live = Arc::clone(&live);
+                loom::thread::spawn(move || {
+                    tree.insert_entry(3, Token::new(&live))
+                        .unwrap_or_else(|_| panic!("insert 3 on fresh key failed"));
+                })
+            };
+            deleter.join().unwrap();
+            inserter.join().unwrap();
+
+            assert!(!tree.contains_key(&1), "deleted key resurfaced");
+            assert!(tree.contains_key(&2) && tree.contains_key(&3));
+            tree.stats()
+                .expect("stats enabled")
+                .check_figure4()
+                .expect("Figure 4 identities");
+        }
+        assert_eq!(
+            live.load(Ordering::Relaxed),
+            0,
+            "value leak or double-free after teardown"
+        );
+    });
+}
+
+/// Scenario 3 — **mark fails → backtrack**: delete(1) must dflag the
+/// grandparent and then mark the parent, while insert(2) races to iflag
+/// that same parent. When the insert's flag lands between the deleter's
+/// search and its mark CAS, the mark fails and the deleter must backtrack
+/// (remove its own dflag) and retry — the paper's line 98 edge. The
+/// aggregate assertion proves the exploration actually reached it.
+#[test]
+fn mark_fails_then_backtracks() {
+    let backtracks = Arc::new(AtomicU64::new(0));
+    let agg = Arc::clone(&backtracks);
+    loom::model(move || {
+        let live = Arc::new(AtomicIsize::new(0));
+        {
+            let tree = Arc::new(NbBst::<u64, Token>::with_stats());
+            tree.insert_entry(1, Token::new(&live)).unwrap();
+
+            let deleter = {
+                let tree = Arc::clone(&tree);
+                loom::thread::spawn(move || {
+                    assert!(tree.remove_key(&1), "1 was inserted before the race");
+                })
+            };
+            let inserter = {
+                let tree = Arc::clone(&tree);
+                let live = Arc::clone(&live);
+                loom::thread::spawn(move || {
+                    tree.insert_entry(2, Token::new(&live))
+                        .unwrap_or_else(|_| panic!("insert 2 on fresh key failed"));
+                })
+            };
+            deleter.join().unwrap();
+            inserter.join().unwrap();
+
+            assert!(!tree.contains_key(&1), "deleted key resurfaced");
+            assert!(tree.contains_key(&2), "inserted key lost");
+            let stats = tree.stats().expect("stats enabled");
+            stats.check_figure4().expect("Figure 4 identities");
+            agg.fetch_add(stats.backtrack_success, Ordering::Relaxed);
+        }
+        assert_eq!(
+            live.load(Ordering::Relaxed),
+            0,
+            "value leak or double-free after teardown"
+        );
+    });
+    assert!(
+        backtracks.load(Ordering::Relaxed) > 0,
+        "no explored execution exercised the backtrack CAS; \
+         the mark-failure window was never scheduled"
+    );
+}
+
+/// Scenario 4 — **helper completes a crashed delete**: the root model
+/// thread drives a `raw::RawDelete` of key 1 through dflag + mark and then
+/// *crashes* (abandons the driver, leaving the grandparent flagged and the
+/// parent permanently marked). A second thread inserts key 2 into the same
+/// corner: its search runs into the stale flag, reads the published DInfo,
+/// and must complete the stranded deletion (dchild + dunflag) before its
+/// own insert can proceed — the paper's core non-blocking claim.
+#[test]
+fn helper_completes_crashed_delete() {
+    loom::model(|| {
+        let live = Arc::new(AtomicIsize::new(0));
+        {
+            let tree = Arc::new(NbBst::<u64, Token>::with_stats());
+            tree.insert_entry(1, Token::new(&live)).unwrap();
+
+            {
+                // Crash a delete mid-protocol: flagged + marked, child CAS
+                // and unflag left for helpers.
+                let mut del = nbbst_core::raw::RawDelete::new(&tree, 1);
+                assert!(del.search().is_ready(), "key 1 is present");
+                assert!(del.flag(), "no contention yet: dflag must win");
+                assert_eq!(del.mark(), nbbst_core::raw::MarkOutcome::Marked);
+                del.abandon();
+            }
+
+            let helper = {
+                let tree = Arc::clone(&tree);
+                let live = Arc::clone(&live);
+                loom::thread::spawn(move || {
+                    tree.insert_entry(2, Token::new(&live))
+                        .unwrap_or_else(|_| panic!("insert 2 on fresh key failed"));
+                })
+            };
+            helper.join().unwrap();
+
+            assert!(
+                !tree.contains_key(&1),
+                "marked delete must be completed by the helper"
+            );
+            assert!(tree.contains_key(&2), "helper's own insert lost");
+            // The abandoned driver never ran its own dchild/dunflag, so the
+            // strict identities hold only up to abandonment.
+            tree.stats()
+                .expect("stats enabled")
+                .check_figure4_allowing_abandoned()
+                .expect("Figure 4 identities (crashed-delete variant)");
+        }
+        assert_eq!(
+            live.load(Ordering::Relaxed),
+            0,
+            "value leak or double-free after teardown"
+        );
+    });
+}
+
+/// Scenario 5 — **delete/delete on sibling leaves**: both deleters target
+/// leaves sharing one parent, so their dflag CASes contend on the same
+/// grandparent *and* their marks on the same parent; one must observe the
+/// other's flag and help it before retrying.
+#[test]
+fn delete_delete_sibling_leaves() {
+    loom::model(|| {
+        let live = Arc::new(AtomicIsize::new(0));
+        {
+            let tree = Arc::new(NbBst::<u64, Token>::with_stats());
+            tree.insert_entry(1, Token::new(&live)).unwrap();
+            tree.insert_entry(2, Token::new(&live)).unwrap();
+
+            let handles: Vec<_> = [1u64, 2]
+                .into_iter()
+                .map(|k| {
+                    let tree = Arc::clone(&tree);
+                    loom::thread::spawn(move || {
+                        assert!(tree.remove_key(&k), "{k} was inserted before the race");
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+
+            assert!(!tree.contains_key(&1) && !tree.contains_key(&2));
+            tree.stats()
+                .expect("stats enabled")
+                .check_figure4()
+                .expect("Figure 4 identities");
+        }
+        assert_eq!(
+            live.load(Ordering::Relaxed),
+            0,
+            "value leak or double-free after teardown"
+        );
+    });
+}

@@ -361,10 +361,7 @@ mod tests {
         assert!(!Response::from(false).as_bool());
         assert_eq!(Response::True.to_string(), "True");
         assert_eq!(Response::False.to_string(), "False");
-        assert_eq!(
-            Operation::<u64, u64>::Remove(4).to_string(),
-            "Delete(4)"
-        );
+        assert_eq!(Operation::<u64, u64>::Remove(4).to_string(), "Delete(4)");
     }
 
     #[test]

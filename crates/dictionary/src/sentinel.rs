@@ -123,14 +123,8 @@ mod tests {
     fn real_vs_node_sends_real_keys_left_of_sentinels() {
         assert_eq!(real_vs_node(&u64::MAX, &SentinelKey::Inf1), Ordering::Less);
         assert_eq!(real_vs_node(&u64::MAX, &SentinelKey::Inf2), Ordering::Less);
-        assert_eq!(
-            real_vs_node(&3u64, &SentinelKey::Key(3)),
-            Ordering::Equal
-        );
-        assert_eq!(
-            real_vs_node(&9u64, &SentinelKey::Key(3)),
-            Ordering::Greater
-        );
+        assert_eq!(real_vs_node(&3u64, &SentinelKey::Key(3)), Ordering::Equal);
+        assert_eq!(real_vs_node(&9u64, &SentinelKey::Key(3)), Ordering::Greater);
     }
 
     #[test]

@@ -19,16 +19,14 @@
 
 mod histogram;
 mod linearize;
-#[cfg(test)]
-mod stats_tests;
 mod report;
 mod runner;
+#[cfg(test)]
+mod stats_tests;
 mod workload;
 
 pub use histogram::Histogram;
-pub use linearize::{
-    check_linearizable, check_map_linearizable, record_history, CompletedOp,
-};
+pub use linearize::{check_linearizable, check_map_linearizable, record_history, CompletedOp};
 pub use report::{DataPoint, Table};
 pub use runner::{prefill, run_for, run_ops, validate_after_run, RunResult};
 pub use workload::{KeyDist, OpGenerator, OpMix, WorkloadSpec};

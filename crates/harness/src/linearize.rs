@@ -13,8 +13,8 @@
 //! too; that is ample to catch real interleaving bugs when run thousands
 //! of times.
 
-use nbbst_dictionary::{ConcurrentMap, Operation, Response};
 use crate::workload::WorkloadSpec;
+use nbbst_dictionary::{ConcurrentMap, Operation, Response};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
@@ -116,11 +116,11 @@ fn apply_to_bitset(state: u64, op: &Operation<u64, u64>) -> (Response, u64) {
 ///
 /// Panics if the history has more than 64 operations or keys ≥ 64 —
 /// limits of the bitset encoding, by construction of the recording specs.
-pub fn check_linearizable(
-    history: &[CompletedOp],
-    initial_keys: &[u64],
-) -> Result<(), String> {
-    assert!(history.len() <= 64, "history too long for the bitset checker");
+pub fn check_linearizable(history: &[CompletedOp], initial_keys: &[u64]) -> Result<(), String> {
+    assert!(
+        history.len() <= 64,
+        "history too long for the bitset checker"
+    );
     let mut initial = 0u64;
     for &k in initial_keys {
         assert!(k < 64, "key {k} out of bitset range");
@@ -200,8 +200,7 @@ where
         }
         let initial = spec.prefill_keys();
         let history = record_history(&map, &spec, threads, ops_per_thread);
-        check_linearizable(&history, &initial)
-            .map_err(|e| format!("round {round}: {e}"))?;
+        check_linearizable(&history, &initial).map_err(|e| format!("round {round}: {e}"))?;
     }
     Ok(())
 }

@@ -3,7 +3,6 @@
 //! Every table in EXPERIMENTS.md is printed with [`Table`]: fixed-width
 //! text for the terminal plus a CSV sibling for plotting.
 
-use serde::Serialize;
 use std::fmt;
 use std::fmt::Write as _;
 
@@ -44,7 +43,8 @@ impl Table {
     /// Panics if the cell count differs from the header count.
     pub fn row(&mut self, cells: &[&str]) {
         assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
     }
 
     /// Appends a row of already-owned cells.
@@ -100,7 +100,7 @@ impl fmt::Display for Table {
 
 /// A serializable record of one experiment data point (JSON-lines
 /// friendly, for archiving raw results next to the rendered tables).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DataPoint {
     /// Experiment id from DESIGN.md (e.g. "T1").
     pub experiment: String,

@@ -230,8 +230,7 @@ pub fn validate_after_run<M: ConcurrentMap<u64, u64> + ?Sized>(
     result: &RunResult,
 ) -> Result<(), String> {
     let prefill = spec.prefill_keys().len() as i64;
-    let expected =
-        prefill + result.successful_inserts as i64 - result.successful_deletes as i64;
+    let expected = prefill + result.successful_inserts as i64 - result.successful_deletes as i64;
     let actual = map.quiescent_len() as i64;
     if expected != actual {
         return Err(format!(

@@ -7,8 +7,8 @@
 #![cfg(test)]
 
 use crate::{
-    check_linearizable, prefill, record_history, run_for, run_ops, validate_after_run,
-    CompletedOp, Histogram, KeyDist, OpMix, Table, WorkloadSpec,
+    check_linearizable, prefill, record_history, run_for, run_ops, validate_after_run, CompletedOp,
+    Histogram, KeyDist, OpMix, Table, WorkloadSpec,
 };
 use nbbst_dictionary::{ConcurrentMap, Operation, Response, SeqMap};
 use std::collections::BTreeMap;
@@ -37,7 +37,12 @@ impl ConcurrentMap<u64, u64> for Locked {
 
 #[test]
 fn prefill_then_duration_run_accounts_exactly_for_every_mix() {
-    for mix in [OpMix::READ_ONLY, OpMix::READ_HEAVY, OpMix::BALANCED, OpMix::UPDATE_ONLY] {
+    for mix in [
+        OpMix::READ_ONLY,
+        OpMix::READ_HEAVY,
+        OpMix::BALANCED,
+        OpMix::UPDATE_ONLY,
+    ] {
         let spec = WorkloadSpec {
             mix,
             ..WorkloadSpec::read_heavy(128)

@@ -287,7 +287,11 @@ impl OpGenerator {
         match self.spec.dist {
             KeyDist::Uniform => self.rng.gen_range(0..range),
             KeyDist::Zipf { .. } => {
-                let rank = self.zipf.as_ref().expect("zipf sampler").sample(&mut self.rng);
+                let rank = self
+                    .zipf
+                    .as_ref()
+                    .expect("zipf sampler")
+                    .sample(&mut self.rng);
                 if self.scramble {
                     // FNV-style scramble, stable across runs.
                     rank.wrapping_mul(0x100_0000_01B3) % range

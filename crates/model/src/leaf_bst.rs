@@ -111,7 +111,12 @@ impl<K: Ord + Clone, V> LeafBst<K, V> {
     /// sequential `Search`).
     fn search_leaf(&self, key: &K) -> &Node<K, V> {
         let mut cur = &self.root;
-        while let Node::Internal { key: nk, left, right } = cur {
+        while let Node::Internal {
+            key: nk,
+            left,
+            right,
+        } = cur
+        {
             cur = if real_vs_node(key, nk) == Ordering::Less {
                 left
             } else {
@@ -330,7 +335,11 @@ impl<K: Ord + Clone, V> LeafBst<K, V> {
             unreachable!("remove_rec called on a leaf")
         };
         let go_left = real_vs_node(key, nk) == Ordering::Less;
-        let child = if go_left { left.as_ref() } else { right.as_ref() };
+        let child = if go_left {
+            left.as_ref()
+        } else {
+            right.as_ref()
+        };
         match child {
             Node::Leaf { key: lk, .. } => {
                 if lk.as_key() == Some(key) {
@@ -340,7 +349,11 @@ impl<K: Ord + Clone, V> LeafBst<K, V> {
                     let Node::Internal { left, right, .. } = old else {
                         unreachable!("node is internal")
                     };
-                    let (target, sibling) = if go_left { (left, right) } else { (right, left) };
+                    let (target, sibling) = if go_left {
+                        (left, right)
+                    } else {
+                        (right, left)
+                    };
                     let Node::Leaf { value, .. } = *target else {
                         unreachable!("matched Leaf above")
                     };
@@ -351,7 +364,11 @@ impl<K: Ord + Clone, V> LeafBst<K, V> {
                 }
             }
             Node::Internal { .. } => {
-                let child = if go_left { left.as_mut() } else { right.as_mut() };
+                let child = if go_left {
+                    left.as_mut()
+                } else {
+                    right.as_mut()
+                };
                 Self::remove_rec(child, key)
             }
         }
@@ -359,11 +376,7 @@ impl<K: Ord + Clone, V> LeafBst<K, V> {
 
     /// In-order `(key, value)` clones with keys inside the bounds,
     /// pruning subtrees that cannot intersect the range.
-    pub fn range(
-        &self,
-        lo: std::ops::Bound<&K>,
-        hi: std::ops::Bound<&K>,
-    ) -> Vec<(K, V)>
+    pub fn range(&self, lo: std::ops::Bound<&K>, hi: std::ops::Bound<&K>) -> Vec<(K, V)>
     where
         V: Clone,
     {
@@ -394,10 +407,7 @@ impl<K: Ord + Clone, V> LeafBst<K, V> {
                     value,
                 } => {
                     if in_lo(k, lo) && in_hi(k, hi) {
-                        out.push((
-                            k.clone(),
-                            value.clone().expect("real leaves carry values"),
-                        ));
+                        out.push((k.clone(), value.clone().expect("real leaves carry values")));
                     }
                 }
                 Node::Leaf { .. } => {}
@@ -407,9 +417,7 @@ impl<K: Ord + Clone, V> LeafBst<K, V> {
                         _ => true,
                     };
                     let visit_right = match (key, hi) {
-                        (SentinelKey::Key(nk), Bound::Included(b) | Bound::Excluded(b)) => {
-                            nk <= b
-                        }
+                        (SentinelKey::Key(nk), Bound::Included(b) | Bound::Excluded(b)) => nk <= b,
                         _ => true,
                     };
                     if visit_left {
@@ -585,10 +593,7 @@ mod tests {
         assert_eq!(keys, vec!['C', 'D']);
         // The parent of the two leaves must be keyed by the larger key D,
         // with C left and D right.
-        fn find_parent_of(
-            n: &Node<char, ()>,
-            a: char,
-        ) -> Option<&Node<char, ()>> {
+        fn find_parent_of(n: &Node<char, ()>, a: char) -> Option<&Node<char, ()>> {
             if let Node::Internal { left, right, .. } = n {
                 if left.is_leaf() && *left.key() == SentinelKey::Key(a) {
                     return Some(n);
@@ -673,7 +678,15 @@ mod tests {
         let pairs: Vec<(u64, u64)> = t.iter().collect();
         assert_eq!(
             pairs,
-            vec![(1, 10), (2, 20), (3, 30), (5, 50), (7, 70), (8, 80), (9, 90)]
+            vec![
+                (1, 10),
+                (2, 20),
+                (3, 30),
+                (5, 50),
+                (7, 70),
+                (8, 80),
+                (9, 90)
+            ]
         );
     }
 

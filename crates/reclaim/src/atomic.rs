@@ -12,10 +12,10 @@
 //! them sound: the collector will not free the pointee while the guard
 //! lives.
 
+use crate::primitives::{AtomicUsize, Ordering};
 use crate::Guard;
 use std::fmt;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Number of low bits of a `*mut T` that are always zero, and therefore
 /// available for tags.

@@ -27,11 +27,14 @@
 //! value) while a guard that observed it is live.
 
 use crate::deferred::Deferred;
+use crate::primitives::{fence, AtomicBool, AtomicPtr, AtomicU64, Mutex, Ordering};
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+// Instrumentation-only counters bypass the loom facade on purpose: they
+// never synchronize anything (see primitives.rs).
+use std::sync::atomic::{AtomicU64 as CounterU64, AtomicUsize as CounterUsize};
+use std::sync::Arc;
 
 /// How many pins between housekeeping passes (epoch-advance attempt plus
 /// local/orphan collection).
@@ -94,13 +97,13 @@ struct Global {
     orphans: Mutex<Vec<Bag>>,
     /// Number of live `Collector` clones (not handles); when it reaches
     /// zero, cached thread-local handles know to retire themselves.
-    collectors: AtomicUsize,
+    collectors: CounterUsize,
     /// Leak instead of freeing (the paper's "always allocate fresh
     /// memory" model); for ablation experiments only.
     leaky: bool,
-    retired: AtomicU64,
-    freed: AtomicU64,
-    advances: AtomicU64,
+    retired: CounterU64,
+    freed: CounterU64,
+    advances: CounterU64,
 }
 
 impl Global {
@@ -109,11 +112,11 @@ impl Global {
             epoch: AtomicU64::new(0),
             participants: AtomicPtr::new(std::ptr::null_mut()),
             orphans: Mutex::new(Vec::new()),
-            collectors: AtomicUsize::new(1),
+            collectors: CounterUsize::new(1),
             leaky,
-            retired: AtomicU64::new(0),
-            freed: AtomicU64::new(0),
-            advances: AtomicU64::new(0),
+            retired: CounterU64::new(0),
+            freed: CounterU64::new(0),
+            advances: CounterU64::new(0),
         }
     }
 
@@ -140,12 +143,10 @@ impl Global {
         let mut head = self.participants.load(Ordering::Acquire);
         loop {
             unsafe { (*rec).next.store(head, Ordering::Relaxed) };
-            match self.participants.compare_exchange(
-                head,
-                rec,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
+            match self
+                .participants
+                .compare_exchange(head, rec, Ordering::AcqRel, Ordering::Acquire)
+            {
                 Ok(_) => return rec,
                 Err(h) => head = h,
             }
@@ -156,7 +157,7 @@ impl Global {
     /// is current after the attempt.
     fn try_advance(&self) -> u64 {
         let global_epoch = self.epoch.load(Ordering::Relaxed);
-        std::sync::atomic::fence(Ordering::SeqCst);
+        fence(Ordering::SeqCst);
 
         // The epoch may only advance if every *pinned* participant has
         // observed the current epoch.
@@ -170,7 +171,7 @@ impl Global {
             }
             cur = p.next.load(Ordering::Acquire);
         }
-        std::sync::atomic::fence(Ordering::Acquire);
+        fence(Ordering::Acquire);
 
         // Multiple threads may race here; at most one CAS per step wins and
         // losers observe the new epoch on their next pass.
@@ -311,12 +312,19 @@ impl Collector {
     /// The first call on a given thread registers it; subsequent calls reuse
     /// the registration. Handles for collectors that no longer exist are
     /// retired lazily.
+    #[cfg(not(loom))]
     pub fn pin(&self) -> Guard {
         CACHED_HANDLES.with(|cache| {
             let mut cache = cache.borrow_mut();
             // Purge handles whose collector is gone (all `Collector` clones
             // dropped); their garbage migrates to the orphan list.
-            cache.retain(|h| unsafe { &*h.inner }.global.collectors.load(Ordering::Relaxed) > 0);
+            cache.retain(|h| {
+                unsafe { &*h.inner }
+                    .global
+                    .collectors
+                    .load(Ordering::Relaxed)
+                    > 0
+            });
             if let Some(h) = cache
                 .iter()
                 .find(|h| Arc::ptr_eq(&unsafe { &*h.inner }.global, &self.global))
@@ -328,6 +336,21 @@ impl Collector {
             cache.push(handle);
             guard
         })
+    }
+
+    /// Pins the current thread (loom build).
+    ///
+    /// Under the model checker each pin registers a transient participant
+    /// instead of using the per-OS-thread handle cache: model threads are
+    /// fresh every execution, and running TLS destructors outside the
+    /// model scheduler would be unsound. Dropping the handle immediately
+    /// is fine — the guard keeps the registration alive via refcount, and
+    /// the participant's garbage migrates to the orphan list on unpin,
+    /// which also puts the orphan path itself under the model.
+    #[cfg(loom)]
+    pub fn pin(&self) -> Guard {
+        let handle = self.register();
+        handle.pin()
     }
 
     /// Forces an epoch-advance attempt plus an orphan collection pass.
@@ -354,7 +377,7 @@ impl Collector {
             }
             self.flush();
             drop(self.pin());
-            std::thread::yield_now();
+            crate::primitives::yield_now();
         }
         let s = self.stats();
         s.retired == s.freed
@@ -389,7 +412,20 @@ impl Clone for Collector {
 
 impl Drop for Collector {
     fn drop(&mut self) {
-        self.global.collectors.fetch_sub(1, Ordering::Relaxed);
+        if self.global.collectors.fetch_sub(1, Ordering::Relaxed) == 1 {
+            // Last `Collector` clone. Evict the calling thread's cached
+            // handle now so its deferred garbage migrates to the orphan
+            // list and is freed when the final `Arc<Global>` drops —
+            // otherwise everything this thread retired would sit in its
+            // thread-local bag (keeping the `Global` alive too) until the
+            // thread exits or happens to pin some other collector.
+            //
+            // Other threads' cached handles are untouched (their TLS is
+            // not ours to drain); they purge on their next `pin` of any
+            // collector, or at thread exit.
+            #[cfg(not(loom))]
+            evict_cached_handle(&self.global);
+        }
     }
 }
 
@@ -407,8 +443,24 @@ impl fmt::Debug for Collector {
     }
 }
 
+#[cfg(not(loom))]
 thread_local! {
     static CACHED_HANDLES: RefCell<Vec<LocalHandle>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Drops the calling thread's cached handle for `global`, if any, sending
+/// its garbage bags to the orphan list (see [`LocalInner::finalize`]).
+/// Safe to call during thread teardown: if the TLS cache is already gone,
+/// its own destructor has done the same work.
+#[cfg(not(loom))]
+fn evict_cached_handle(global: &Arc<Global>) {
+    let _ = CACHED_HANDLES.try_with(|cache| {
+        // A live guard keeps the registration alive past the eviction via
+        // the `LocalInner` refcounts, so this is safe even mid-pin.
+        cache
+            .borrow_mut()
+            .retain(|h| !Arc::ptr_eq(&unsafe { &*h.inner }.global, global));
+    });
 }
 
 /// Thread-local state for one `(thread, collector)` registration.
@@ -444,7 +496,7 @@ impl LocalInner {
                 .store(Participant::pinned_state(epoch), Ordering::Relaxed);
             // Publish the pin before any subsequent shared-memory access;
             // pairs with the SeqCst fence in `Global::try_advance`.
-            std::sync::atomic::fence(Ordering::SeqCst);
+            fence(Ordering::SeqCst);
             self.local_epoch.set(epoch);
 
             let pins = self.pin_count.get() + 1;
@@ -728,7 +780,11 @@ mod tests {
         }
         // All bags should be at least two epochs old by now except possibly
         // the most recent ones.
-        assert!(drops.load(Ordering::SeqCst) > 900, "freed {}", drops.load(Ordering::SeqCst));
+        assert!(
+            drops.load(Ordering::SeqCst) > 900,
+            "freed {}",
+            drops.load(Ordering::SeqCst)
+        );
         let stats = collector.stats();
         assert_eq!(stats.retired, 1_000);
         assert!(stats.epoch_advances > 0);
@@ -872,7 +928,10 @@ mod tests {
             }
         });
         let after = collector.stats().global_epoch;
-        assert!(after >= before + 2, "epoch should run ahead: {before} -> {after}");
+        assert!(
+            after >= before + 2,
+            "epoch should run ahead: {before} -> {after}"
+        );
         drop(guard);
     }
 }

@@ -33,10 +33,9 @@
 //! ```
 
 use crate::deferred::Deferred;
+use crate::primitives::{AtomicBool, AtomicPtr, AtomicUsize, Mutex, Ordering};
 use std::collections::HashSet;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Retired objects accumulate until a scan is worthwhile.
 const SCAN_THRESHOLD: usize = 64;
@@ -86,7 +85,10 @@ impl Domain {
                 .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
                 .is_ok()
             {
-                return HazardPointer { _domain: self, slot: cur };
+                return HazardPointer {
+                    _domain: self,
+                    slot: cur,
+                };
             }
             cur = s.next.load(Ordering::Acquire);
         }
@@ -103,7 +105,12 @@ impl Domain {
                 .slots
                 .compare_exchange(head, slot, Ordering::AcqRel, Ordering::Acquire)
             {
-                Ok(_) => return HazardPointer { _domain: self, slot },
+                Ok(_) => {
+                    return HazardPointer {
+                        _domain: self,
+                        slot,
+                    }
+                }
                 Err(h) => head = h,
             }
         }
@@ -260,7 +267,10 @@ impl Drop for HazardPointer<'_> {
 impl fmt::Debug for HazardPointer<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("HazardPointer")
-            .field("protecting", &(self.slot().hazard.load(Ordering::Relaxed) as *const ()))
+            .field(
+                "protecting",
+                &(self.slot().hazard.load(Ordering::Relaxed) as *const ()),
+            )
             .finish()
     }
 }

@@ -55,6 +55,7 @@ mod atomic;
 mod deferred;
 mod epoch;
 pub mod hazard;
+mod primitives;
 pub mod sync;
 
 pub use atomic::{low_bits, Atomic, CompareExchangeError, Owned, Pointer, Shared};

@@ -1,0 +1,36 @@
+//! The cfg-gated concurrency-primitive facade.
+//!
+//! Every protocol-relevant atomic, fence, mutex, and thread-yield in this
+//! crate goes through these re-exports instead of naming `std::sync`
+//! directly. A normal build is a zero-cost passthrough to `std`; building
+//! with `RUSTFLAGS="--cfg loom"` swaps in the `loom` model checker's
+//! primitives, which turn every operation into a scheduling point so the
+//! `loom_protocol` tests in `nbbst-core` can exhaustively explore
+//! interleavings of the EFRB flag/mark protocol **together with** the
+//! epoch-reclamation machinery underneath it.
+//!
+//! Two deliberate exclusions:
+//!
+//! * `Ordering` is always `std`'s type (loom re-exports it), so call
+//!   sites annotate real orderings either way.
+//! * Pure instrumentation counters (`ReclaimStats`, `TreeStats` in
+//!   `nbbst-core`) stay on `std` atomics even under loom: they are never
+//!   used for synchronization, and excluding them keeps the model's
+//!   schedule space focused on protocol steps. Anything that *is*
+//!   synchronization must use this module.
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU64, AtomicUsize};
+#[cfg(not(loom))]
+pub(crate) use std::sync::Mutex;
+#[cfg(not(loom))]
+pub(crate) use std::thread::yield_now;
+
+#[cfg(loom)]
+pub(crate) use loom::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU64, AtomicUsize};
+#[cfg(loom)]
+pub(crate) use loom::sync::Mutex;
+#[cfg(loom)]
+pub(crate) use loom::thread::yield_now;
+
+pub(crate) use std::sync::atomic::Ordering;

@@ -15,7 +15,12 @@ use crate::{unprotected, Atomic, Collector, Owned, Shared};
 use std::fmt;
 use std::sync::atomic::Ordering;
 
-const ORD: Ordering = Ordering::SeqCst;
+// Memory orderings are chosen per site (no blanket SeqCst): `Acquire` on
+// loads whose pointee is dereferenced (synchronizes with the `Release`
+// CAS that published the node), `Release`/`AcqRel` on publishing/
+// unlinking CASes, `Relaxed` where the loaded pointer is only used as a
+// CAS expected value, for pre-publication initialization, or under
+// exclusive access (`Drop`). See DESIGN.md "Memory orderings".
 
 struct StackNode<T> {
     value: Option<T>,
@@ -61,9 +66,19 @@ impl<T> TreiberStack<T> {
             next: Atomic::null(),
         });
         loop {
-            let head = self.head.load(ORD, &guard);
-            node.next.store(head, ORD);
-            match self.head.compare_exchange(head, node, ORD, ORD, &guard) {
+            // Not dereferenced — only re-published via the CAS below.
+            let head = self.head.load(Ordering::Relaxed, &guard);
+            // Pre-publication store into the still-private node.
+            node.next.store(head, Ordering::Relaxed);
+            // Release publishes the node's initialization to acquiring
+            // readers; a failed attempt learns nothing it dereferences.
+            match self.head.compare_exchange(
+                head,
+                node,
+                Ordering::Release,
+                Ordering::Relaxed,
+                &guard,
+            ) {
                 Ok(_) => return,
                 Err(e) => node = e.new,
             }
@@ -74,21 +89,24 @@ impl<T> TreiberStack<T> {
     pub fn pop(&self) -> Option<T> {
         let guard = self.collector.pin();
         loop {
-            let head = self.head.load(ORD, &guard);
+            // Acquire: we dereference the node, so we must observe the
+            // initialization released by the push that installed it.
+            let head = self.head.load(Ordering::Acquire, &guard);
             // SAFETY: protected by the guard.
             let node = unsafe { head.as_ref() }?;
-            let next = node.next.load(ORD, &guard);
+            let next = node.next.load(Ordering::Acquire, &guard);
+            // AcqRel: unlinking both publishes `next` as the new head and
+            // orders the value read below after a successful unlink.
             if self
                 .head
-                .compare_exchange(head, next, ORD, ORD, &guard)
+                .compare_exchange(head, next, Ordering::AcqRel, Ordering::Relaxed, &guard)
                 .is_ok()
             {
                 // SAFETY: we unlinked `head`; unique access to its value
                 // slot (no other thread can pop it again) and unique
                 // retirement. Reading the value via a raw pointer before
                 // retiring keeps `T` un-cloned.
-                let value =
-                    unsafe { (*(head.as_raw() as *mut StackNode<T>)).value.take() };
+                let value = unsafe { (*(head.as_raw() as *mut StackNode<T>)).value.take() };
                 unsafe { guard.defer_destroy(head) };
                 return value;
             }
@@ -98,7 +116,8 @@ impl<T> TreiberStack<T> {
     /// `true` iff the stack has no elements (at the instant of the load).
     pub fn is_empty(&self) -> bool {
         let guard = self.collector.pin();
-        self.head.load(ORD, &guard).is_null()
+        // Null-check only, never dereferenced.
+        self.head.load(Ordering::Relaxed, &guard).is_null()
     }
 }
 
@@ -112,10 +131,11 @@ impl<T> Drop for TreiberStack<T> {
     fn drop(&mut self) {
         // SAFETY: exclusive access at teardown.
         let guard = unsafe { unprotected() };
-        let mut cur = self.head.load(ORD, &guard);
+        // Relaxed: `&mut self` proves exclusive access at teardown.
+        let mut cur = self.head.load(Ordering::Relaxed, &guard);
         while !cur.is_null() {
             let node = unsafe { Box::from_raw(cur.as_raw() as *mut StackNode<T>) };
-            cur = node.next.load(ORD, &guard);
+            cur = node.next.load(Ordering::Relaxed, &guard);
         }
     }
 }
@@ -169,8 +189,9 @@ impl<T> MsQueue<T> {
             next: Atomic::null(),
         })
         .into_shared(&guard);
-        q.head.store(dummy, ORD);
-        q.tail.store(dummy, ORD);
+        // Pre-publication: the queue itself is not yet shared.
+        q.head.store(dummy, Ordering::Relaxed);
+        q.tail.store(dummy, Ordering::Relaxed);
         drop(guard);
         q
     }
@@ -183,23 +204,40 @@ impl<T> MsQueue<T> {
             next: Atomic::null(),
         });
         loop {
-            let tail = self.tail.load(ORD, &guard);
+            // Acquire: dereferenced below.
+            let tail = self.tail.load(Ordering::Acquire, &guard);
             // SAFETY: tail is never null; guard-protected.
             let tail_ref = unsafe { tail.deref() };
-            let next = tail_ref.next.load(ORD, &guard);
+            let next = tail_ref.next.load(Ordering::Acquire, &guard);
             if !next.is_null() {
-                // Help the lagging tail forward, then retry.
-                let _ = self.tail.compare_exchange(tail, next, ORD, ORD, &guard);
+                // Help the lagging tail forward, then retry. Release keeps
+                // the helped pointer a publication edge for later readers.
+                let _ = self.tail.compare_exchange(
+                    tail,
+                    next,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                    &guard,
+                );
                 continue;
             }
-            match tail_ref
-                .next
-                .compare_exchange(Shared::null(), new, ORD, ORD, &guard)
-            {
+            // Release publishes the new node's initialization (this CAS is
+            // the queue's linearization point for push).
+            match tail_ref.next.compare_exchange(
+                Shared::null(),
+                new,
+                Ordering::Release,
+                Ordering::Relaxed,
+                &guard,
+            ) {
                 Ok(installed) => {
-                    let _ = self
-                        .tail
-                        .compare_exchange(tail, installed, ORD, ORD, &guard);
+                    let _ = self.tail.compare_exchange(
+                        tail,
+                        installed,
+                        Ordering::Release,
+                        Ordering::Relaxed,
+                        &guard,
+                    );
                     return;
                 }
                 Err(e) => new = e.new,
@@ -211,15 +249,18 @@ impl<T> MsQueue<T> {
     pub fn pop(&self) -> Option<T> {
         let guard = self.collector.pin();
         loop {
-            let head = self.head.load(ORD, &guard);
+            // Acquire on both hops: `head` and `next` are dereferenced
+            // (the value moves out of `next`).
+            let head = self.head.load(Ordering::Acquire, &guard);
             let head_ref = unsafe { head.deref() };
-            let next = head_ref.next.load(ORD, &guard);
+            let next = head_ref.next.load(Ordering::Acquire, &guard);
             if next.is_null() {
                 return None;
             }
+            // AcqRel: unlink + publish `next` as the new dummy.
             if self
                 .head
-                .compare_exchange(head, next, ORD, ORD, &guard)
+                .compare_exchange(head, next, Ordering::AcqRel, Ordering::Relaxed, &guard)
                 .is_ok()
             {
                 // The popped node (`next`) becomes the new dummy; its value
@@ -237,8 +278,13 @@ impl<T> MsQueue<T> {
     /// `true` iff the queue has no elements (at the instant of the loads).
     pub fn is_empty(&self) -> bool {
         let guard = self.collector.pin();
-        let head = self.head.load(ORD, &guard);
-        unsafe { head.deref() }.next.load(ORD, &guard).is_null()
+        // Acquire: the dummy is dereferenced; its `next` is only
+        // null-checked.
+        let head = self.head.load(Ordering::Acquire, &guard);
+        unsafe { head.deref() }
+            .next
+            .load(Ordering::Relaxed, &guard)
+            .is_null()
     }
 }
 
@@ -252,10 +298,11 @@ impl<T> Drop for MsQueue<T> {
     fn drop(&mut self) {
         // SAFETY: exclusive at teardown.
         let guard = unsafe { unprotected() };
-        let mut cur = self.head.load(ORD, &guard);
+        // Relaxed: `&mut self` proves exclusive access at teardown.
+        let mut cur = self.head.load(Ordering::Relaxed, &guard);
         while !cur.is_null() {
             let node = unsafe { Box::from_raw(cur.as_raw() as *mut QueueNode<T>) };
-            cur = node.next.load(ORD, &guard);
+            cur = node.next.load(Ordering::Relaxed, &guard);
         }
     }
 }

@@ -1,5 +1,5 @@
 //! Cross-thread stress for the epoch collector, plus a behavioural
-//! parity check against `crossbeam-epoch` (the battle-tested reference
+//! swap workload matching the contract of `crossbeam-epoch` (the reference
 //! implementation of the same protocol) on an identical workload.
 
 use nbbst_reclaim::{Atomic, Collector, Owned};
@@ -54,7 +54,11 @@ fn swap_stress_frees_everything_exactly_once() {
     // Quiesce. (Exited threads hand their garbage over from their TLS
     // destructors, which may land slightly after join; try_drain absorbs
     // that.)
-    assert!(collector.try_drain(10_000), "drain timed out: {:?}", collector.stats());
+    assert!(
+        collector.try_drain(10_000),
+        "drain timed out: {:?}",
+        collector.stats()
+    );
     let total = THREADS * SWAPS_PER_THREAD; // retired; +1 still in the slot
     assert_eq!(drops.load(Ordering::SeqCst), total);
     let stats = collector.stats();
@@ -137,63 +141,17 @@ fn readers_never_observe_freed_memory() {
     unsafe { drop(slot.into_owned()) };
 }
 
-/// The same swap workload on crossbeam-epoch produces the same external
-/// behaviour (all retirements freed at quiescence) — a parity check that
-/// our from-scratch collector implements the same contract as the
-/// reference implementation.
+/// A multi-thread swap workload frees every retirement at quiescence —
+/// the external contract crossbeam-epoch's reference implementation
+/// provides. (This began life as a side-by-side parity run against
+/// crossbeam itself; the crossbeam half was dropped when dependencies
+/// moved to offline in-tree stand-ins. The expected drop count is exact,
+/// so the remaining check is equally strong.)
 #[test]
-fn crossbeam_parity_on_swap_workload() {
-    use crossbeam::epoch as cb;
+fn swap_workload_frees_everything_at_quiescence() {
     const THREADS: usize = 4;
     const SWAPS: usize = 2_000;
 
-    // crossbeam run.
-    let cb_drops = Arc::new(AtomicUsize::new(0));
-    {
-        let collector = cb::Collector::new();
-        let slot: cb::Atomic<CountDrop> = cb::Atomic::new(CountDrop(cb_drops.clone()));
-        std::thread::scope(|s| {
-            for _ in 0..THREADS {
-                let collector = &collector;
-                let slot = &slot;
-                let drops = cb_drops.clone();
-                s.spawn(move || {
-                    let handle = collector.register();
-                    for _ in 0..SWAPS {
-                        let guard = handle.pin();
-                        let mut new = cb::Owned::new(CountDrop(drops.clone()));
-                        loop {
-                            let cur = slot.load(ORD, &guard);
-                            match slot.compare_exchange(
-                                cur,
-                                new,
-                                ORD,
-                                ORD,
-                                &guard,
-                            ) {
-                                Ok(_) => {
-                                    unsafe { guard.defer_destroy(cur) };
-                                    break;
-                                }
-                                Err(e) => new = e.new,
-                            }
-                        }
-                    }
-                });
-            }
-        });
-        let handle = collector.register();
-        for _ in 0..64 {
-            handle.pin().flush();
-        }
-        // Teardown: drop the final resident + collector.
-        unsafe {
-            drop(slot.into_owned());
-        }
-        drop(collector);
-    }
-
-    // nbbst-reclaim run (same workload shape).
     let our_drops = Arc::new(AtomicUsize::new(0));
     {
         let collector = Collector::new();
@@ -225,10 +183,7 @@ fn crossbeam_parity_on_swap_workload() {
         unsafe { drop(slot.into_owned()) };
     }
 
-    // Both collectors freed every retired object plus the resident one.
+    // The collector freed every retired object plus the resident one.
     let expected = THREADS * SWAPS + 1;
-    // crossbeam defers some frees until collector drop, which has
-    // happened by now; ours completes at quiescence + teardown.
     assert_eq!(our_drops.load(Ordering::SeqCst), expected, "nbbst-reclaim");
-    assert_eq!(cb_drops.load(Ordering::SeqCst), expected, "crossbeam");
 }

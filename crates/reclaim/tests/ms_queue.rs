@@ -59,18 +59,13 @@ impl<T> MsQueue<T> {
             let next = tail_ref.next.load(ORD, &guard);
             if !next.is_null() {
                 // Tail lagging: help swing it, then retry.
-                let _ = self
-                    .tail
-                    .compare_exchange(tail, next, ORD, ORD, &guard);
+                let _ = self.tail.compare_exchange(tail, next, ORD, ORD, &guard);
                 continue;
             }
-            match tail_ref.next.compare_exchange(
-                Shared::null(),
-                new,
-                ORD,
-                ORD,
-                &guard,
-            ) {
+            match tail_ref
+                .next
+                .compare_exchange(Shared::null(), new, ORD, ORD, &guard)
+            {
                 Ok(installed) => {
                     let _ = self
                         .tail
@@ -164,9 +159,7 @@ fn mpmc_stress_no_loss_no_duplication() {
             let popped = popped.clone();
             let sum = sum.clone();
             s.spawn(move || loop {
-                if popped.load(Ordering::SeqCst)
-                    >= PRODUCERS * PER_PRODUCER as usize
-                {
+                if popped.load(Ordering::SeqCst) >= PRODUCERS * PER_PRODUCER as usize {
                     break;
                 }
                 if let Some(v) = q.pop() {

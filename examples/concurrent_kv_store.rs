@@ -31,8 +31,15 @@ fn main() {
     let result = run_for(&store, &spec, threads, Duration::from_secs(2));
 
     println!();
-    println!("throughput: {:.3} Mops/s ({} ops)", result.mops(), result.total_ops);
-    println!("fairness (slowest/fastest worker): {:.2}", result.fairness());
+    println!(
+        "throughput: {:.3} Mops/s ({} ops)",
+        result.mops(),
+        result.total_ops
+    );
+    println!(
+        "fairness (slowest/fastest worker): {:.2}",
+        result.fairness()
+    );
     println!(
         "latency: p50={}ns p99={}ns p99.9={}ns max={}ns",
         result.latency.percentile(50.0),
@@ -54,7 +61,10 @@ fn main() {
     stats.check_figure4().expect("CAS circuits balanced");
     println!();
     println!("EFRB protocol activity during the run:");
-    println!("  insert circuits (iflag=ichild=iunflag): {}", stats.iflag_success);
+    println!(
+        "  insert circuits (iflag=ichild=iunflag): {}",
+        stats.iflag_success
+    );
     println!(
         "  delete circuits: {} completed, {} backtracked",
         stats.mark_success, stats.backtrack_success

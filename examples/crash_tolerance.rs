@@ -31,7 +31,10 @@ fn main() {
     println!("thread B now runs Insert(26), whose path crosses the dead flag...");
     assert!(tree.insert(26, 26));
     println!("B helped A's insert to completion before doing its own:");
-    println!("  contains(25) = {} (A's insert, finished by B)", tree.contains(&25));
+    println!(
+        "  contains(25) = {} (A's insert, finished by B)",
+        tree.contains(&25)
+    );
     println!("  contains(26) = {} (B's own insert)", tree.contains(&26));
     assert!(tree.contains(&25) && tree.contains(&26));
 
@@ -47,7 +50,10 @@ fn main() {
     println!("thread D runs Insert(31) through the marked region...");
     assert!(tree.insert(31, 31));
     println!("D completed C's deletion first:");
-    println!("  contains(30) = {} (C's delete, finished by D)", tree.contains(&30));
+    println!(
+        "  contains(30) = {} (C's delete, finished by D)",
+        tree.contains(&30)
+    );
     println!("  contains(31) = {} (D's own insert)", tree.contains(&31));
     assert!(!tree.contains(&30) && tree.contains(&31));
 

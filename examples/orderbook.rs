@@ -140,6 +140,8 @@ fn main() {
     );
     println!("  best bid: {:?}", bids.best_bid());
     println!("  resident levels: {}", bids.levels.quiescent_len());
-    bids.levels.check_invariants().expect("book index consistent");
+    bids.levels
+        .check_invariants()
+        .expect("book index consistent");
     println!("  price index invariants verified.");
 }

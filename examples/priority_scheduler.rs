@@ -81,17 +81,19 @@ fn main() {
             let claimed = &claimed;
             s.spawn(move || {
                 while claimed.load(Ordering::SeqCst) < TASKS as u64 {
-                    let urgent = queue.range_snapshot(
-                        Bound::Unbounded,
-                        Bound::Excluded(&key(10_000, 0)),
-                    );
+                    let urgent =
+                        queue.range_snapshot(Bound::Unbounded, Bound::Excluded(&key(10_000, 0)));
                     std::hint::black_box(urgent.len());
                 }
             });
         }
     });
 
-    assert_eq!(claimed.load(Ordering::SeqCst), TASKS as u64, "every task claimed exactly once");
+    assert_eq!(
+        claimed.load(Ordering::SeqCst),
+        TASKS as u64,
+        "every task claimed exactly once"
+    );
     assert_eq!(queue.quiescent_len(), 0);
     queue.check_invariants().expect("queue consistent");
     println!(

@@ -48,11 +48,11 @@ fn main() {
     println!("4 threads inserted {} distinct keys", tree2.quiescent_len());
 
     // Weakly-consistent whole-tree views for inspection and debugging:
+    println!("smallest five keys: {:?}", &tree2.keys_snapshot()[..5]);
     println!(
-        "smallest five keys: {:?}",
-        &tree2.keys_snapshot()[..5]
+        "tree height: {} (≈ 2·log2(n) expected for random fills)",
+        tree2.height()
     );
-    println!("tree height: {} (≈ 2·log2(n) expected for random fills)", tree2.height());
     tree2.check_invariants().expect("structural invariants");
     println!("done — see examples/concurrent_kv_store.rs for a realistic workload.");
 }

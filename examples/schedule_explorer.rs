@@ -34,7 +34,10 @@ fn main() {
 
     println!("[Insert(60)] iflag CAS: parent Clean -> IFlag, publishing an IInfo record.");
     assert!(ins.flag());
-    show("after iflag — this is the paper's Figure 5 configuration", &tree);
+    show(
+        "after iflag — this is the paper's Figure 5 configuration",
+        &tree,
+    );
 
     println!("[Insert(60)] ichild CAS: the leaf becomes a three-node subtree (Figure 1).");
     assert!(ins.execute_child());
@@ -50,7 +53,10 @@ fn main() {
 
     println!("[Delete(50)] backtrack CAS: grandparent DFlag -> Clean; the delete retries.");
     assert!(del.backtrack());
-    show("after backtrack (tree unchanged by the failed delete)", &tree);
+    show(
+        "after backtrack (tree unchanged by the failed delete)",
+        &tree,
+    );
 
     println!("[Delete(50)] retry: Search, dflag, mark, dchild, dunflag.");
     assert!(del.search().is_ready());
@@ -59,7 +65,10 @@ fn main() {
     show("after mark — the parent is frozen forever", &tree);
     assert!(del.execute_child());
     assert!(del.unflag());
-    show("final tree: 50 deleted, 60 (inserted concurrently) survives", &tree);
+    show(
+        "final tree: 50 deleted, 60 (inserted concurrently) survives",
+        &tree,
+    );
 
     assert!(!tree.contains_key(&50));
     assert!(tree.contains_key(&60));

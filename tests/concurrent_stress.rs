@@ -27,8 +27,7 @@ fn every_structure_survives_a_balanced_run_with_exact_accounting() {
     for (name, map) in all_structures() {
         prefill(&*map, &spec);
         let r = run_ops(&*map, &spec, 4, 5_000);
-        validate_after_run(&*map, &spec, &r)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        validate_after_run(&*map, &spec, &r).unwrap_or_else(|e| panic!("{name}: {e}"));
     }
 }
 
@@ -41,8 +40,7 @@ fn every_structure_survives_update_only_contention() {
     for (name, map) in all_structures() {
         prefill(&*map, &spec);
         let r = run_ops(&*map, &spec, 8, 3_000);
-        validate_after_run(&*map, &spec, &r)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        validate_after_run(&*map, &spec, &r).unwrap_or_else(|e| panic!("{name}: {e}"));
     }
 }
 

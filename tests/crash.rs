@@ -69,7 +69,10 @@ fn survivors_progress_past_delete_crashed_after_dflag() {
     // The crashed delete either completed (helped) or backtracked; either
     // way no flag remains. Its circuit has no owner to count it, so use
     // the abandoned-tolerant identity check.
-    t.stats().unwrap().check_figure4_allowing_abandoned().unwrap();
+    t.stats()
+        .unwrap()
+        .check_figure4_allowing_abandoned()
+        .unwrap();
 }
 
 #[test]
@@ -164,7 +167,10 @@ fn blocked_updates_complete_the_blocking_operation_first() {
     // This insert's search path goes through the flagged parent.
     assert!(t.insert(11, 11));
     let after = t.stats().unwrap();
-    assert!(after.helps > before.helps, "the second insert must have helped");
+    assert!(
+        after.helps > before.helps,
+        "the second insert must have helped"
+    );
     assert!(t.contains_key(&10), "the crashed insert was completed");
     assert!(t.contains_key(&11));
     t.check_invariants().unwrap();

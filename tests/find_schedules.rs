@@ -13,9 +13,7 @@
 //! answer must equal that constant; if a concurrent update flips it, both
 //! answers are legal.
 
-use nbbst::core::raw::{
-    DeleteSearch, InsertSearch, MarkOutcome, RawDelete, RawFind, RawInsert,
-};
+use nbbst::core::raw::{DeleteSearch, InsertSearch, MarkOutcome, RawDelete, RawFind, RawInsert};
 use nbbst::NbBst;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,12 +105,7 @@ impl<'t> Upd<'t> {
 }
 
 /// Runs one interleaving; returns the Find's answer.
-fn run_schedule(
-    initial: &[u64],
-    find_key: u64,
-    update: Op,
-    schedule: u64,
-) -> bool {
+fn run_schedule(initial: &[u64], find_key: u64, update: Op, schedule: u64) -> bool {
     let tree: NbBst<u64, u64> = NbBst::new();
     for &k in initial {
         tree.insert_entry(k, k).unwrap();
@@ -176,15 +169,30 @@ fn find_racing_insert_of_its_key_may_see_either() {
     let all_find_first = 0u64; // zeros: find steps first until done
     assert!(!run_schedule(&[10, 30], 20, Op::Insert(20), all_find_first));
     let all_update_first = u64::MAX; // ones: update runs to completion first
-    assert!(run_schedule(&[10, 30], 20, Op::Insert(20), all_update_first));
+    assert!(run_schedule(
+        &[10, 30],
+        20,
+        Op::Insert(20),
+        all_update_first
+    ));
     enumerate(&[10, 30], 20, Op::Insert(20), &[true, false]);
 }
 
 #[test]
 fn find_racing_delete_of_its_key_may_see_either() {
     let all_find_first = 0u64;
-    assert!(run_schedule(&[10, 20, 30], 20, Op::Delete(20), all_find_first));
+    assert!(run_schedule(
+        &[10, 20, 30],
+        20,
+        Op::Delete(20),
+        all_find_first
+    ));
     let all_update_first = u64::MAX;
-    assert!(!run_schedule(&[10, 20, 30], 20, Op::Delete(20), all_update_first));
+    assert!(!run_schedule(
+        &[10, 20, 30],
+        20,
+        Op::Delete(20),
+        all_update_first
+    ));
     enumerate(&[10, 20, 30], 20, Op::Delete(20), &[true, false]);
 }

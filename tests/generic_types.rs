@@ -32,10 +32,7 @@ fn tuple_keys_order_lexicographically() {
     t.insert((2, "b"), 1);
     t.insert((1, "z"), 2);
     t.insert((2, "a"), 3);
-    assert_eq!(
-        t.keys_snapshot(),
-        vec![(1, "z"), (2, "a"), (2, "b")]
-    );
+    assert_eq!(t.keys_snapshot(), vec![(1, "z"), (2, "a"), (2, "b")]);
 }
 
 /// A key type with a deliberately "interesting" Ord (reverse order) —
@@ -160,7 +157,11 @@ fn concurrent_heap_values_no_leak_no_uaf() {
         );
         // Tree drop frees the reachable structure.
     }
-    assert_eq!(live.load(AtomicOrdering::SeqCst), 0, "value leak or double drop");
+    assert_eq!(
+        live.load(AtomicOrdering::SeqCst),
+        0,
+        "value leak or double drop"
+    );
 }
 
 #[test]

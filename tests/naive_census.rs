@@ -58,9 +58,7 @@ impl<'t> Staged<'t> {
                 // reported as such).
                 Staged::Done(matches!(p.commit(), CommitOutcome::Applied))
             }
-            Staged::PreparedDel(p) => {
-                Staged::Done(matches!(p.commit(), CommitOutcome::Applied))
-            }
+            Staged::PreparedDel(p) => Staged::Done(matches!(p.commit(), CommitOutcome::Applied)),
             done => done,
         };
     }

@@ -106,7 +106,10 @@ fn figure3c_schedule_rejected_by_efrb() {
     assert_eq!(del_e.mark(), MarkOutcome::Failed);
     assert!(del_e.backtrack());
     assert!(t.contains_key(&F), "no Figure 3(c) lost insert");
-    assert!(t.contains_key(&E), "the failed delete left the tree unchanged");
+    assert!(
+        t.contains_key(&E),
+        "the failed delete left the tree unchanged"
+    );
 
     // The retried delete succeeds cleanly.
     assert!(del_e.search().is_ready());

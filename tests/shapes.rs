@@ -9,7 +9,11 @@ use proptest::prelude::*;
 /// Both renderers print `(key)` internals and `[key]` leaves with the
 /// same tree layout, so equal strings = equal shapes.
 fn shapes_match(tree: &NbBst<u64, u64>, model: &LeafBst<u64, u64>) {
-    assert_eq!(tree.render(), model.render(), "tree shape diverged from the model");
+    assert_eq!(
+        tree.render(),
+        model.render(),
+        "tree shape diverged from the model"
+    );
 }
 
 #[test]

@@ -1,0 +1,49 @@
+//! An offline, in-tree model checker exposing the subset of the
+//! [`loom`](https://docs.rs/loom) API this workspace programs against.
+//!
+//! The build environment cannot fetch crates, so this crate implements
+//! systematic schedule exploration from scratch rather than wrapping the
+//! real loom. The surface is API-compatible for what `nbbst-reclaim` and
+//! the `loom_protocol` tests use — `loom::model`, `loom::thread`,
+//! `loom::sync::atomic`, `loom::sync::Mutex` — so swapping in upstream
+//! loom later is a `Cargo.toml` change, not a source change.
+//!
+//! # How checking works
+//!
+//! [`model`] runs the closure repeatedly. Each run is one *execution*:
+//! every simulated thread is a real OS thread, but a cooperative
+//! scheduler (mutex + condvar token passing) permits exactly one to run
+//! at a time, and every atomic access, lock acquisition, spawn, and join
+//! is a *scheduling point* where the scheduler may switch threads. The
+//! sequence of switch decisions is recorded; between executions a
+//! depth-first explorer backtracks the most recent decision with
+//! unexplored alternatives, so all schedules (within the bound below) are
+//! visited exactly once, deterministically, with no randomness.
+//!
+//! # Exploration bound
+//!
+//! Full interleaving enumeration is super-exponential, so exploration is
+//! **preemption-bounded** (Musuvathi & Qadeer's CHESS result): schedules
+//! with at most `LOOM_PREEMPTION_BOUND` (default 2) *involuntary* context
+//! switches are enumerated exhaustively; switches at blocking points
+//! (lock contention, join, thread exit) are free. Empirically almost all
+//! concurrency bugs manifest within two preemptions. The bound is an
+//! env var so CI can raise it for deeper sweeps.
+//!
+//! # Memory model
+//!
+//! Atomics execute with **sequentially consistent** semantics regardless
+//! of the `Ordering` argument: this checker explores interleavings, not
+//! weak-memory reorderings. Acquire/Release reasoning for the orderings
+//! chosen in `nbbst-core` is made analytically in `DESIGN.md`; this tool
+//! validates the *protocol* (every CAS step sees every possible rival
+//! schedule), which is where the EFRB tree's subtle bugs live.
+
+#![warn(missing_docs)]
+
+mod rt;
+
+pub mod sync;
+pub mod thread;
+
+pub use rt::model;

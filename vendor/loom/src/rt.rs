@@ -1,0 +1,433 @@
+//! The execution scheduler and schedule explorer.
+//!
+//! One [`Execution`] is a single run of the model closure under a fixed
+//! schedule prefix. Threads hand a run token around: only the thread
+//! whose id equals `ExecState::active` makes progress; everyone else
+//! waits on the condvar. Scheduling points call [`yield_point`] (or the
+//! blocking variants), which consults the recorded decision trace —
+//! replaying the prefix chosen by the explorer, then defaulting to "keep
+//! running the current thread" — and records every point where more than
+//! one choice existed. After the run, [`next_replay`] backtracks the last
+//! open decision, depth-first, until the space is exhausted.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Maximum simulated threads per execution (incl. the root).
+const MAX_THREADS: usize = 8;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Run {
+    /// Eligible to be scheduled.
+    Runnable,
+    /// Waiting for a resource (mutex) identified by id.
+    Blocked(usize),
+    /// Waiting for another thread to finish.
+    Joining(usize),
+    /// Done; never scheduled again.
+    Finished,
+}
+
+/// One recorded decision: which of `options` was taken.
+#[derive(Clone, Debug)]
+pub(crate) struct Choice {
+    options: Vec<usize>,
+    chosen: usize,
+}
+
+struct ExecState {
+    threads: Vec<Run>,
+    /// Thread currently holding the run token.
+    active: usize,
+    /// OS threads not yet fully exited (controller waits on this).
+    alive: usize,
+    preemptions: usize,
+    bound: usize,
+    /// Decisions replayed from the previous execution's backtrack.
+    replay: Vec<Choice>,
+    /// Decisions made this execution (prefix equals `replay`).
+    trace: Vec<Choice>,
+    /// Index of the next decision point.
+    depth: usize,
+    /// First panic observed; aborts the whole execution.
+    panic_message: Option<String>,
+    abort: bool,
+    steps: u64,
+    max_steps: u64,
+}
+
+pub(crate) struct Execution {
+    state: Mutex<ExecState>,
+    cond: Condvar,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+fn current() -> (Arc<Execution>, usize) {
+    CURRENT.with(|c| c.borrow().clone()).expect(
+        "loom primitive used outside loom::model — wrap the test body in loom::model(|| ...)",
+    )
+}
+
+fn try_current() -> Option<(Arc<Execution>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+impl Execution {
+    fn new(replay: Vec<Choice>, bound: usize, max_steps: u64) -> Execution {
+        Execution {
+            state: Mutex::new(ExecState {
+                threads: Vec::new(),
+                active: 0,
+                alive: 0,
+                preemptions: 0,
+                bound,
+                replay,
+                trace: Vec::new(),
+                depth: 0,
+                panic_message: None,
+                abort: false,
+                steps: 0,
+                max_steps,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+}
+
+/// Picks the next thread to run and records the decision if it was a real
+/// choice. `me_runnable` distinguishes a preemption opportunity (current
+/// thread could continue) from a forced switch (it blocked or finished).
+fn schedule_locked(st: &mut ExecState, me: usize, me_runnable: bool) -> Option<usize> {
+    let mut options: Vec<usize> = Vec::new();
+    if me_runnable {
+        // Current thread first: the depth-first default (index 0) is
+        // "no context switch", so preemption-free runs are explored first.
+        options.push(me);
+    }
+    let budget_left = st.preemptions < st.bound;
+    for (id, run) in st.threads.iter().enumerate() {
+        if id != me && *run == Run::Runnable {
+            options.push(id);
+        }
+    }
+    if me_runnable && !budget_left {
+        // Out of preemption budget: the current thread must continue.
+        options.truncate(1);
+    }
+    if options.is_empty() {
+        return None;
+    }
+
+    let chosen_index = if options.len() == 1 {
+        0
+    } else {
+        let idx = if st.depth < st.replay.len() {
+            st.replay[st.depth].chosen
+        } else {
+            0
+        };
+        st.depth += 1;
+        st.trace.push(Choice {
+            options: options.clone(),
+            chosen: idx,
+        });
+        idx
+    };
+    let next = options[chosen_index];
+    if me_runnable && next != me {
+        st.preemptions += 1;
+    }
+    st.active = next;
+    Some(next)
+}
+
+fn abort_all(st: &mut ExecState, message: String) {
+    if st.panic_message.is_none() {
+        st.panic_message = Some(message);
+    }
+    st.abort = true;
+}
+
+/// Blocks the calling OS thread until it holds the run token again.
+/// Must be entered with the state lock held; panics (unwinding the model
+/// thread) if the execution aborted meanwhile.
+fn wait_for_token(exec: &Execution, mut st: std::sync::MutexGuard<'_, ExecState>, me: usize) {
+    loop {
+        if st.abort {
+            drop(st);
+            std::panic::resume_unwind(Box::new(AbortExecution));
+        }
+        if st.active == me && st.threads[me] == Run::Runnable {
+            return;
+        }
+        st = exec.cond.wait(st).expect("scheduler lock poisoned");
+    }
+}
+
+/// Payload used to tear down sibling threads after a failure; recognised
+/// and swallowed by the thread wrapper.
+struct AbortExecution;
+
+/// A scheduling point: gives the explorer the opportunity to preempt the
+/// calling thread before its next shared-memory access.
+pub(crate) fn yield_point() {
+    let Some((exec, me)) = try_current() else {
+        // Outside a model (e.g. the shim's own unit tests constructing
+        // atomics directly): act as a plain access.
+        return;
+    };
+    let mut st = exec.state.lock().expect("scheduler lock poisoned");
+    if st.abort {
+        drop(st);
+        std::panic::resume_unwind(Box::new(AbortExecution));
+    }
+    st.steps += 1;
+    if st.steps > st.max_steps {
+        let msg = format!(
+            "execution exceeded {} scheduling points — livelock or unbounded loop?",
+            st.max_steps
+        );
+        abort_all(&mut st, msg);
+        exec.cond.notify_all();
+        drop(st);
+        std::panic::resume_unwind(Box::new(AbortExecution));
+    }
+    match schedule_locked(&mut st, me, true) {
+        Some(next) if next == me => {}
+        Some(_) => {
+            exec.cond.notify_all();
+            wait_for_token(&exec, st, me);
+        }
+        None => unreachable!("current thread is runnable"),
+    }
+}
+
+/// Blocks the current thread on `resource` until [`unblock`] wakes it.
+pub(crate) fn block_on(resource: usize) {
+    let (exec, me) = current();
+    let mut st = exec.state.lock().expect("scheduler lock poisoned");
+    st.threads[me] = Run::Blocked(resource);
+    if schedule_locked(&mut st, me, false).is_none() {
+        abort_all(
+            &mut st,
+            "deadlock: every live thread is blocked".to_string(),
+        );
+    }
+    exec.cond.notify_all();
+    wait_for_token(&exec, st, me);
+}
+
+/// Marks every thread blocked on `resource` runnable again.
+pub(crate) fn unblock(resource: usize) {
+    let Some((exec, _)) = try_current() else {
+        // Outside a model nothing can be blocked on the simulated mutex.
+        return;
+    };
+    let mut st = exec.state.lock().expect("scheduler lock poisoned");
+    for run in st.threads.iter_mut() {
+        if *run == Run::Blocked(resource) {
+            *run = Run::Runnable;
+        }
+    }
+    // The waker keeps the token; the woken threads compete at the next
+    // scheduling point.
+    exec.cond.notify_all();
+}
+
+/// Registers a new simulated thread and starts its OS thread.
+pub(crate) fn spawn_thread(body: Box<dyn FnOnce() + Send>) -> usize {
+    let (exec, _) = current();
+    let id = {
+        let mut st = exec.state.lock().expect("scheduler lock poisoned");
+        let id = st.threads.len();
+        assert!(
+            id < MAX_THREADS,
+            "loom model limited to {MAX_THREADS} threads"
+        );
+        st.threads.push(Run::Runnable);
+        st.alive += 1;
+        id
+    };
+    os_spawn(Arc::clone(&exec), id, body);
+    // A spawn is a scheduling point: the child may run before the parent's
+    // next instruction.
+    yield_point();
+    id
+}
+
+/// Blocks until thread `target` finishes.
+pub(crate) fn join_thread(target: usize) {
+    let (exec, me) = current();
+    let mut st = exec.state.lock().expect("scheduler lock poisoned");
+    if st.threads[target] == Run::Finished {
+        return;
+    }
+    st.threads[me] = Run::Joining(target);
+    if schedule_locked(&mut st, me, false).is_none() {
+        abort_all(
+            &mut st,
+            "deadlock: every live thread is blocked".to_string(),
+        );
+    }
+    exec.cond.notify_all();
+    wait_for_token(&exec, st, me);
+}
+
+fn os_spawn(exec: Arc<Execution>, id: usize, body: Box<dyn FnOnce() + Send>) {
+    std::thread::Builder::new()
+        .name(format!("loom-{id}"))
+        .spawn(move || {
+            CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), id)));
+            {
+                let st = exec.state.lock().expect("scheduler lock poisoned");
+                // Root starts active; spawned threads wait to be scheduled.
+                let result = catch_unwind(AssertUnwindSafe(|| wait_for_token(&exec, st, id)));
+                if result.is_err() {
+                    finish_thread(&exec, id);
+                    return;
+                }
+            }
+            let result = catch_unwind(AssertUnwindSafe(body));
+            if let Err(payload) = result {
+                let mut st = exec.state.lock().expect("scheduler lock poisoned");
+                if !payload.is::<AbortExecution>() {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "thread panicked (non-string payload)".to_string());
+                    abort_all(&mut st, format!("thread {id} panicked: {msg}"));
+                }
+                exec.cond.notify_all();
+            }
+            finish_thread(&exec, id);
+        })
+        .expect("failed to spawn model thread");
+}
+
+fn finish_thread(exec: &Execution, id: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    let mut st = exec.state.lock().expect("scheduler lock poisoned");
+    st.threads[id] = Run::Finished;
+    for run in st.threads.iter_mut() {
+        if *run == Run::Joining(id) {
+            *run = Run::Runnable;
+        }
+    }
+    if schedule_locked(&mut st, id, false).is_none() {
+        // No runnable thread. Either everything finished (normal end) or
+        // the remainder is blocked (deadlock).
+        let all_done = st.threads.iter().all(|r| *r == Run::Finished);
+        if !all_done && !st.abort {
+            abort_all(
+                &mut st,
+                "deadlock: remaining threads are all blocked".to_string(),
+            );
+        }
+    }
+    st.alive -= 1;
+    exec.cond.notify_all();
+}
+
+/// Computes the replay prefix for the next execution: backtrack to the
+/// deepest decision with an untried alternative. `None` when exhausted.
+fn next_replay(mut trace: Vec<Choice>) -> Option<Vec<Choice>> {
+    while let Some(last) = trace.last() {
+        if last.chosen + 1 < last.options.len() {
+            let last = trace.last_mut().expect("non-empty");
+            last.chosen += 1;
+            return Some(trace);
+        }
+        trace.pop();
+    }
+    None
+}
+
+/// Runs `f` under every schedule the bounded explorer generates,
+/// panicking on the first failing execution.
+///
+/// Environment knobs: `LOOM_PREEMPTION_BOUND` (default 2),
+/// `LOOM_MAX_ITERATIONS` (default 500000), `LOOM_MAX_STEPS` (default
+/// 5000000 scheduling points per execution), `LOOM_LOG` (any value: print
+/// the execution count when done).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let bound = env_usize("LOOM_PREEMPTION_BOUND", 2);
+    let max_iterations = env_usize("LOOM_MAX_ITERATIONS", 500_000);
+    let max_steps = env_usize("LOOM_MAX_STEPS", 5_000_000) as u64;
+    let f = Arc::new(f);
+
+    let mut replay: Vec<Choice> = Vec::new();
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        assert!(
+            iterations <= max_iterations,
+            "loom: exceeded LOOM_MAX_ITERATIONS={max_iterations} executions without \
+             exhausting the schedule space — shrink the scenario or lower the bound",
+        );
+
+        let exec = Arc::new(Execution::new(
+            std::mem::take(&mut replay),
+            bound,
+            max_steps,
+        ));
+        {
+            let mut st = exec.state.lock().expect("scheduler lock poisoned");
+            st.threads.push(Run::Runnable);
+            st.alive = 1;
+            st.active = 0;
+        }
+        let body = {
+            let f = Arc::clone(&f);
+            Box::new(move || f())
+        };
+        os_spawn(Arc::clone(&exec), 0, body);
+
+        let (panic_message, trace) = {
+            let mut st = exec.state.lock().expect("scheduler lock poisoned");
+            while st.alive > 0 {
+                st = exec.cond.wait(st).expect("scheduler lock poisoned");
+            }
+            (st.panic_message.take(), std::mem::take(&mut st.trace))
+        };
+        if let Some(msg) = panic_message {
+            panic!("loom: execution {iterations} failed: {msg}");
+        }
+        match next_replay(trace) {
+            Some(r) => replay = r,
+            None => break,
+        }
+    }
+    if std::env::var_os("LOOM_LOG").is_some() {
+        eprintln!("loom: explored {iterations} executions (preemption bound {bound})");
+    }
+}
+
+/// Allocates a process-unique resource id (used by `sync::Mutex`).
+pub(crate) fn next_resource_id() -> usize {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Helper for `thread::spawn`'s typed result channel.
+pub(crate) type ResultSlot<T> = Arc<Mutex<Option<T>>>;
+
+/// FIFO used by shim-internal tests; exported for reuse in `sync`.
+#[allow(dead_code)]
+pub(crate) type Queue<T> = VecDeque<T>;

@@ -1,0 +1,396 @@
+//! Simulated synchronization primitives: atomics and a mutex.
+//!
+//! Every operation is a scheduling point. Accesses themselves are plain
+//! (non-atomic) reads/writes of an `UnsafeCell`, which is sound because
+//! the scheduler's token passing serializes all simulated threads: the
+//! token is handed over through a `std::sync::Mutex`, whose lock/unlock
+//! pair establishes happens-before between consecutive accesses.
+
+use crate::rt;
+use std::cell::UnsafeCell;
+use std::sync::{PoisonError, TryLockError};
+
+/// `std::sync::Arc`, re-exported unchanged: reference counting is already
+/// data-race free and is not part of the protocols under test.
+pub use std::sync::Arc;
+
+/// Simulated atomics with sequentially consistent exploration semantics.
+pub mod atomic {
+    use super::UnsafeCell;
+    use crate::rt;
+
+    /// Memory ordering, accepted for API compatibility. The checker
+    /// explores interleavings under sequential consistency; see the crate
+    /// docs for why that is the deliberate scope.
+    pub use std::sync::atomic::Ordering;
+
+    /// A scheduling-point fence. Orderings are moot under the shim's
+    /// sequentially consistent semantics, so this only yields.
+    pub fn fence(_order: Ordering) {
+        rt::yield_point();
+    }
+
+    macro_rules! atomic_int {
+        ($(#[$doc:meta])* $name:ident, $ty:ty) => {
+            $(#[$doc])*
+            #[derive(Debug, Default)]
+            pub struct $name {
+                v: UnsafeCell<$ty>,
+            }
+
+            // SAFETY: all access is serialized by the model scheduler (or
+            // by the caller outside a model, same as a plain atomic).
+            unsafe impl Send for $name {}
+            unsafe impl Sync for $name {}
+
+            impl $name {
+                /// Creates a new atomic (const, matching `std`).
+                pub const fn new(v: $ty) -> Self {
+                    Self {
+                        v: UnsafeCell::new(v),
+                    }
+                }
+
+                /// Loads the value.
+                pub fn load(&self, _order: Ordering) -> $ty {
+                    rt::yield_point();
+                    unsafe { *self.v.get() }
+                }
+
+                /// Stores a value.
+                pub fn store(&self, val: $ty, _order: Ordering) {
+                    rt::yield_point();
+                    unsafe { *self.v.get() = val }
+                }
+
+                /// Swaps the value, returning the previous one.
+                pub fn swap(&self, val: $ty, _order: Ordering) -> $ty {
+                    rt::yield_point();
+                    unsafe { std::mem::replace(&mut *self.v.get(), val) }
+                }
+
+                /// Compare-and-exchange; `Err` carries the observed value.
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    rt::yield_point();
+                    let slot = unsafe { &mut *self.v.get() };
+                    if *slot == current {
+                        *slot = new;
+                        Ok(current)
+                    } else {
+                        Err(*slot)
+                    }
+                }
+
+                /// Weak compare-and-exchange; never fails spuriously here.
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+
+                /// Adds, returning the previous value.
+                pub fn fetch_add(&self, val: $ty, _order: Ordering) -> $ty {
+                    rt::yield_point();
+                    let slot = unsafe { &mut *self.v.get() };
+                    let prev = *slot;
+                    *slot = prev.wrapping_add(val);
+                    prev
+                }
+
+                /// Subtracts, returning the previous value.
+                pub fn fetch_sub(&self, val: $ty, _order: Ordering) -> $ty {
+                    rt::yield_point();
+                    let slot = unsafe { &mut *self.v.get() };
+                    let prev = *slot;
+                    *slot = prev.wrapping_sub(val);
+                    prev
+                }
+
+                /// Bitwise-or, returning the previous value.
+                pub fn fetch_or(&self, val: $ty, _order: Ordering) -> $ty {
+                    rt::yield_point();
+                    let slot = unsafe { &mut *self.v.get() };
+                    let prev = *slot;
+                    *slot = prev | val;
+                    prev
+                }
+
+                /// Bitwise-and, returning the previous value.
+                pub fn fetch_and(&self, val: $ty, _order: Ordering) -> $ty {
+                    rt::yield_point();
+                    let slot = unsafe { &mut *self.v.get() };
+                    let prev = *slot;
+                    *slot = prev & val;
+                    prev
+                }
+
+                /// Mutable access (exclusive ownership; not a scheduling
+                /// point, matching `std`).
+                pub fn get_mut(&mut self) -> &mut $ty {
+                    self.v.get_mut()
+                }
+
+                /// Consumes the atomic, returning the value.
+                pub fn into_inner(self) -> $ty {
+                    self.v.into_inner()
+                }
+            }
+        };
+    }
+
+    atomic_int!(
+        /// Simulated `AtomicUsize`.
+        AtomicUsize,
+        usize
+    );
+    atomic_int!(
+        /// Simulated `AtomicU64`.
+        AtomicU64,
+        u64
+    );
+    atomic_int!(
+        /// Simulated `AtomicU32`.
+        AtomicU32,
+        u32
+    );
+
+    /// Simulated `AtomicBool`.
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        v: UnsafeCell<bool>,
+    }
+
+    // SAFETY: see the integer atomics above.
+    unsafe impl Send for AtomicBool {}
+    unsafe impl Sync for AtomicBool {}
+
+    impl AtomicBool {
+        /// Creates a new atomic bool.
+        pub const fn new(v: bool) -> Self {
+            Self {
+                v: UnsafeCell::new(v),
+            }
+        }
+
+        /// Loads the value.
+        pub fn load(&self, _order: Ordering) -> bool {
+            rt::yield_point();
+            unsafe { *self.v.get() }
+        }
+
+        /// Stores a value.
+        pub fn store(&self, val: bool, _order: Ordering) {
+            rt::yield_point();
+            unsafe { *self.v.get() = val }
+        }
+
+        /// Swaps the value, returning the previous one.
+        pub fn swap(&self, val: bool, _order: Ordering) -> bool {
+            rt::yield_point();
+            unsafe { std::mem::replace(&mut *self.v.get(), val) }
+        }
+
+        /// Compare-and-exchange; `Err` carries the observed value.
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            _success: Ordering,
+            _failure: Ordering,
+        ) -> Result<bool, bool> {
+            rt::yield_point();
+            let slot = unsafe { &mut *self.v.get() };
+            if *slot == current {
+                *slot = new;
+                Ok(current)
+            } else {
+                Err(*slot)
+            }
+        }
+
+        /// Mutable access (exclusive ownership; not a scheduling point).
+        pub fn get_mut(&mut self) -> &mut bool {
+            self.v.get_mut()
+        }
+
+        /// Consumes the atomic, returning the value.
+        pub fn into_inner(self) -> bool {
+            self.v.into_inner()
+        }
+    }
+
+    /// Simulated `AtomicPtr`.
+    #[derive(Debug)]
+    pub struct AtomicPtr<T> {
+        v: UnsafeCell<*mut T>,
+    }
+
+    // SAFETY: see the integer atomics above.
+    unsafe impl<T> Send for AtomicPtr<T> {}
+    unsafe impl<T> Sync for AtomicPtr<T> {}
+
+    impl<T> Default for AtomicPtr<T> {
+        fn default() -> Self {
+            Self::new(std::ptr::null_mut())
+        }
+    }
+
+    impl<T> AtomicPtr<T> {
+        /// Creates a new atomic pointer.
+        pub const fn new(v: *mut T) -> Self {
+            Self {
+                v: UnsafeCell::new(v),
+            }
+        }
+
+        /// Loads the pointer.
+        pub fn load(&self, _order: Ordering) -> *mut T {
+            rt::yield_point();
+            unsafe { *self.v.get() }
+        }
+
+        /// Stores a pointer.
+        pub fn store(&self, val: *mut T, _order: Ordering) {
+            rt::yield_point();
+            unsafe { *self.v.get() = val }
+        }
+
+        /// Swaps the pointer, returning the previous one.
+        pub fn swap(&self, val: *mut T, _order: Ordering) -> *mut T {
+            rt::yield_point();
+            unsafe { std::mem::replace(&mut *self.v.get(), val) }
+        }
+
+        /// Compare-and-exchange; `Err` carries the observed pointer.
+        pub fn compare_exchange(
+            &self,
+            current: *mut T,
+            new: *mut T,
+            _success: Ordering,
+            _failure: Ordering,
+        ) -> Result<*mut T, *mut T> {
+            rt::yield_point();
+            let slot = unsafe { &mut *self.v.get() };
+            if std::ptr::eq(*slot, current) {
+                *slot = new;
+                Ok(current)
+            } else {
+                Err(*slot)
+            }
+        }
+
+        /// Mutable access (exclusive ownership; not a scheduling point).
+        pub fn get_mut(&mut self) -> &mut *mut T {
+            self.v.get_mut()
+        }
+
+        /// Consumes the atomic, returning the pointer.
+        pub fn into_inner(self) -> *mut T {
+            self.v.into_inner()
+        }
+    }
+}
+
+/// A scheduler-aware mutex mirroring `std::sync::Mutex`'s API.
+///
+/// Never poisons (a panicking model thread aborts the whole execution),
+/// but returns the `std` `Result` types so call sites written against
+/// `std::sync::Mutex` compile unchanged.
+#[derive(Debug)]
+pub struct Mutex<T: ?Sized> {
+    id: usize,
+    locked: UnsafeCell<bool>,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the scheduler serializes access to `locked`; `data` is guarded
+// by the lock protocol itself, as with any mutex.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+/// RAII guard for [`Mutex`]; unlocks (and wakes waiters) on drop.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates an unlocked mutex.
+    pub fn new(data: T) -> Self {
+        Mutex {
+            id: rt::next_resource_id(),
+            locked: UnsafeCell::new(false),
+            data: UnsafeCell::new(data),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock; a scheduling point, and blocks (in the model
+    /// sense) while another simulated thread holds it.
+    #[allow(clippy::result_unit_err)]
+    pub fn lock(&self) -> Result<MutexGuard<'_, T>, PoisonError<MutexGuard<'_, T>>> {
+        loop {
+            rt::yield_point();
+            // SAFETY: we hold the run token; accesses are serialized.
+            let locked = unsafe { &mut *self.locked.get() };
+            if !*locked {
+                *locked = true;
+                return Ok(MutexGuard { mutex: self });
+            }
+            rt::block_on(self.id);
+        }
+    }
+
+    /// Attempts the lock without blocking (still a scheduling point).
+    pub fn try_lock(&self) -> Result<MutexGuard<'_, T>, TryLockError<MutexGuard<'_, T>>> {
+        rt::yield_point();
+        // SAFETY: we hold the run token; accesses are serialized.
+        let locked = unsafe { &mut *self.locked.get() };
+        if !*locked {
+            *locked = true;
+            Ok(MutexGuard { mutex: self })
+        } else {
+            Err(TryLockError::WouldBlock)
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> Result<&mut T, PoisonError<&mut T>> {
+        Ok(self.data.get_mut())
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: guard existence proves we hold the lock.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: guard existence proves we hold the lock exclusively.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // SAFETY: unlocking requires the run token, which we hold between
+        // scheduling points.
+        unsafe { *self.mutex.locked.get() = false };
+        rt::unblock(self.mutex.id);
+    }
+}

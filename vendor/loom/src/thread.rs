@@ -1,0 +1,50 @@
+//! Simulated threads: `loom::thread::{spawn, yield_now, JoinHandle}`.
+
+use crate::rt;
+
+/// Handle to a simulated thread; joining returns the closure's value.
+#[derive(Debug)]
+pub struct JoinHandle<T> {
+    id: usize,
+    result: rt::ResultSlot<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    ///
+    /// The `Err` arm mirrors `std`'s signature but is never produced: a
+    /// panicking model thread aborts the whole execution instead, and
+    /// [`crate::model`] reports it.
+    pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+        rt::join_thread(self.id);
+        let value = self
+            .result
+            .lock()
+            .expect("result slot poisoned")
+            .take()
+            .expect("joined thread produced no value");
+        Ok(value)
+    }
+}
+
+/// Spawns a simulated thread running `f`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let result: rt::ResultSlot<T> = std::sync::Arc::new(std::sync::Mutex::new(None));
+    let slot = std::sync::Arc::clone(&result);
+    let id = rt::spawn_thread(Box::new(move || {
+        let value = f();
+        *slot.lock().expect("result slot poisoned") = Some(value);
+    }));
+    JoinHandle { id, result }
+}
+
+/// A voluntary scheduling point. (For state-space economy this shim
+/// charges a switch here against the preemption budget like any other
+/// scheduling point.)
+pub fn yield_now() {
+    rt::yield_point();
+}

@@ -1,0 +1,441 @@
+//! Minimal offline stand-in for the `proptest` property-testing crate.
+//!
+//! Supports the subset the workspace's suites use: the [`proptest!`] test
+//! macro, [`Strategy`] with `prop_map`, [`prop_oneof!`] unions, `any::<T>()`,
+//! integer-range and tuple strategies, [`collection::vec`], and the
+//! `prop_assert!`/`prop_assert_eq!` assertion macros.
+//!
+//! Semantics differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs (every
+//!   strategy value is `Debug`) but does not minimize them.
+//! * **Fixed deterministic seeding.** Cases derive from a per-test seed
+//!   (FNV of the test name), so runs are reproducible byte-for-byte; set
+//!   `PROPTEST_CASES` to change the case count (default 64).
+
+#[doc(hidden)]
+pub use rand::rngs::SmallRng;
+use rand::Rng;
+use std::fmt;
+use std::ops::Range;
+
+/// Error raised by `prop_assert*` macros inside a [`proptest!`] body.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given explanation.
+    pub fn fail<S: Into<String>>(message: S) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Result type produced by a [`proptest!`] body closure.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A generator of test values.
+///
+/// Unlike real proptest there is no value tree: a strategy just samples.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A heap-allocated, type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn ObjectStrategy<Value = T>>;
+
+/// Object-safe core of [`Strategy`] (no combinator methods).
+pub trait ObjectStrategy {
+    /// The type of generated values.
+    type Value: fmt::Debug;
+    /// Draws one value.
+    fn generate_obj(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+impl<S: Strategy> ObjectStrategy for S {
+    type Value = S::Value;
+    fn generate_obj(&self, rng: &mut SmallRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        self.as_ref().generate_obj(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between boxed strategies (see [`prop_oneof!`]).
+pub struct Union<T> {
+    branches: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: fmt::Debug> Union<T> {
+    /// Builds a union over `branches`; panics if empty.
+    pub fn new(branches: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(
+            !branches.is_empty(),
+            "prop_oneof! needs at least one branch"
+        );
+        Union { branches }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        let i = rng.gen_range(0..self.branches.len());
+        self.branches[i].generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )+};
+}
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: fmt::Debug + Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> $t {
+                // Truncation keeps all bit positions uniform.
+                rng.gen::<u64>() as $t
+            }
+        }
+    )+};
+}
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut SmallRng) -> bool {
+        rng.gen()
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy producing any value of `T` (mirrors `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{SmallRng, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s whose length is drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Mirrors `proptest::collection::vec(element, size_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Number of cases each [`proptest!`] test runs (env `PROPTEST_CASES`).
+pub fn case_count() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Deterministic per-test seed: FNV-1a over the test's name.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Defines property tests: each `arg in strategy` binding is sampled per
+/// case, and `prop_assert*` failures abort with the case's inputs printed.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )+) => {$(
+        $(#[$meta])*
+        fn $name() {
+            use $crate::Strategy as _;
+            let cases = $crate::case_count();
+            let mut rng = <$crate::SmallRng as $crate::SeedableRng>::seed_from_u64(
+                $crate::seed_for(stringify!($name)),
+            );
+            $(let $arg = $strategy;)+
+            for case in 0..cases {
+                $(let $arg = $arg.generate(&mut rng);)+
+                // Render inputs before the body consumes them, so failures
+                // can report the offending case without a `Clone` bound.
+                let rendered_inputs =
+                    [$(format!("  {} = {:?}", stringify!($arg), $arg)),+].join("\n");
+                let result: $crate::TestCaseResult = (move || {
+                    $body
+                    Ok(())
+                })();
+                if let Err(e) = result {
+                    panic!("proptest case {case} failed: {e}\ninputs:\n{rendered_inputs}");
+                }
+            }
+        }
+    )+};
+}
+
+/// Fails the enclosing proptest case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the enclosing proptest case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` != `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the enclosing proptest case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?}` == `{:?}`", l, r);
+    }};
+}
+
+/// Uniform choice among strategies producing one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+// Re-exports the proptest! machinery needs in scope at expansion sites.
+#[doc(hidden)]
+pub use rand::SeedableRng;
+
+/// The usual glob import: strategies, `any`, and the macros.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, Strategy, TestCaseError, TestCaseResult, Union,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let s = (0u8..3, 10u64..20);
+        for _ in 0..100 {
+            let (a, b) = s.generate(&mut rng);
+            assert!(a < 3 && (10..20).contains(&b));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_branch() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+        let s = prop_oneof![
+            any::<u8>().prop_map(|_| 0u8),
+            any::<u8>().prop_map(|_| 1u8),
+            any::<u8>().prop_map(|_| 2u8),
+        ];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let s = crate::collection::vec(0u8..5, 2..7);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    proptest! {
+        /// The macro itself: bindings, trailing comma, prop_assert forms.
+        #[test]
+        fn macro_smoke(
+            xs in crate::collection::vec(0u64..100, 0..10),
+            k in 1u64..5,
+        ) {
+            prop_assert!((1..5).contains(&k), "k out of range: {}", k);
+            let doubled: Vec<u64> = xs.iter().map(|x| x * 2).collect();
+            prop_assert_eq!(doubled.len(), xs.len());
+            for (d, x) in doubled.iter().zip(&xs) {
+                prop_assert_eq!(*d, x * 2, "at x = {}", x);
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_differ_by_name_and_are_stable() {
+        assert_ne!(crate::seed_for("a"), crate::seed_for("b"));
+        assert_eq!(crate::seed_for("a"), crate::seed_for("a"));
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            fn always_fails(x in 0u8..10) {
+                prop_assert!(x > 200, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,213 @@
+//! Minimal offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the *exact* API surface its tests and harness use:
+//! [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`], and the [`Rng`]
+//! methods `gen`, `gen_range` (over integer `Range`s). The generator is
+//! xorshift64* seeded through SplitMix64 — statistically fine for
+//! workload generation and fuzz schedules, and deterministic per seed,
+//! which is all the callers require. Not a cryptographic RNG.
+
+use std::ops::Range;
+
+/// Types constructible from a fresh 64-bit random word (`rng.gen()`).
+pub trait Standard: Sized {
+    /// Derives a value from one uniformly random `u64`.
+    fn from_random_u64(word: u64) -> Self;
+}
+
+impl Standard for f64 {
+    fn from_random_u64(word: u64) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn from_random_u64(word: u64) -> Self {
+        // Use a high bit; low bits of xorshift outputs are the weakest.
+        word >> 63 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn from_random_u64(word: u64) -> Self {
+        word
+    }
+}
+
+impl Standard for u32 {
+    fn from_random_u64(word: u64) -> Self {
+        (word >> 32) as u32
+    }
+}
+
+impl Standard for u8 {
+    fn from_random_u64(word: u64) -> Self {
+        (word >> 56) as u8
+    }
+}
+
+/// Integer types that can be drawn uniformly from a `Range`.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Widens to `u64` for arithmetic.
+    fn to_u64(self) -> u64;
+    /// Narrows from `u64`; the value is guaranteed to fit.
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),+) => {$(
+        impl UniformInt for $t {
+            fn to_u64(self) -> u64 { self as u64 }
+            fn from_u64(v: u64) -> Self { v as $t }
+        }
+    )+};
+}
+uniform_int!(u8, u16, u32, u64, usize);
+
+/// The subset of `rand::Rng` the workspace uses.
+pub trait Rng {
+    /// Next raw 64-bit word from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// A random value of an inferred [`Standard`] type (`f64`, `bool`, ...).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_random_u64(self.next_u64())
+    }
+
+    /// Uniform draw from `range` (half-open). Panics if the range is empty.
+    ///
+    /// Uses simple rejection-free modulo; the bias is < 2^-32 for every
+    /// range the workspace uses, which is irrelevant for test workloads.
+    fn gen_range<T: UniformInt>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        let (lo, hi) = (range.start.to_u64(), range.end.to_u64());
+        assert!(lo < hi, "gen_range called with empty range");
+        T::from_u64(lo + self.next_u64() % (hi - lo))
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, deterministic generator (xorshift64*).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 scrambles the seed so that nearby seeds (0, 1, 2...)
+            // give unrelated streams, and maps seed 0 away from the
+            // xorshift fixed point.
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            SmallRng {
+                state: if z == 0 { 0x4D59_5DF4_D0F3_3173 } else { z },
+            }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+}
+
+/// `rand::prelude` stand-in.
+pub mod prelude {
+    pub use crate::rngs::SmallRng;
+    pub use crate::{Rng, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y: u8 = rng.gen_range(0..100);
+            assert!(y < 100);
+            let z = rng.gen_range(3usize..4);
+            assert_eq!(z, 3);
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_not_constant() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..10_000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            lo |= u < 0.5;
+            hi |= u >= 0.5;
+        }
+        assert!(lo && hi);
+    }
+
+    #[test]
+    fn bool_takes_both_values() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut t = 0;
+        for _ in 0..1000 {
+            if rng.gen::<bool>() {
+                t += 1;
+            }
+        }
+        assert!(t > 300 && t < 700, "suspiciously biased: {t}/1000");
+    }
+
+    #[test]
+    fn seed_zero_works() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_ne!(rng.next_u64(), 0);
+    }
+}
