@@ -1,0 +1,59 @@
+//! `nbbst-lint` — enforce the DESIGN.md §8 site table offline.
+//!
+//! ```text
+//! cargo run -p nbbst-analysis --bin nbbst-lint [-- --report PATH] [--quiet]
+//! ```
+//!
+//! Exits non-zero if any pass finds a violation. `--report PATH` also
+//! writes the full report to a file (CI uploads it as an artifact).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut report_path: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--report" => match args.next() {
+                Some(p) => report_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("nbbst-lint: --report needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "nbbst-lint: atomics-ordering conformance (orderings.toml \u{2194} code), \
+                     unsafe/SAFETY audit, loom-facade conformance.\n\
+                     Usage: nbbst-lint [--report PATH] [--quiet]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("nbbst-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = nbbst_analysis::workspace_root();
+    let report = nbbst_analysis::run_workspace_lint(&root);
+    let rendered = report.to_string();
+    if let Some(path) = report_path {
+        if let Err(e) = std::fs::write(&path, &rendered) {
+            eprintln!("nbbst-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if !quiet || !report.is_clean() {
+        print!("{rendered}");
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

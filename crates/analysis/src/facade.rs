@@ -1,0 +1,231 @@
+//! Pass 3 — loom-facade conformance.
+//!
+//! Under `RUSTFLAGS="--cfg loom"` every protocol atomic must become a
+//! loom scheduling point, which only happens if the code routes through
+//! the `nbbst-reclaim` `primitives` facade. A direct `std::sync::atomic`
+//! type in loom-checked code silently disappears from the model's
+//! schedule space — the checker still passes, but verifies less than it
+//! claims. This pass makes that a hard error.
+//!
+//! Allowed uses of `std::sync::atomic` in loom-checked crates:
+//!
+//! * `Ordering` (the facade re-exports std's `Ordering` even under loom);
+//! * instrumentation counters imported under a `Counter*` alias (e.g.
+//!   `AtomicU64 as CounterU64`) — the documented exclusion for stats
+//!   that never synchronize (see `primitives.rs`);
+//! * files listed in the manifest's `[facade] exempt` array — the facade
+//!   module itself.
+
+use crate::lexer::{SourceFile, Tok, TokKind};
+use crate::manifest::Manifest;
+use crate::report::{Pass, Report, Violation};
+
+/// Runs the facade pass for one file, appending findings to `report`.
+pub fn check(file: &SourceFile, manifest: &Manifest, report: &mut Report) {
+    if manifest.facade_exempt.contains(&file.path) {
+        return;
+    }
+    let toks = &file.tokens;
+    let mut i = 0;
+    while i + 4 < toks.len() {
+        if toks[i].test || !is_path(&toks[i..], &["std", "sync", "atomic"]) {
+            i += 1;
+            continue;
+        }
+        // `std :: sync :: atomic` spans 7 tokens; expect `::` next, then
+        // either one name or a `{ ... }` group.
+        let after = i + 7;
+        if !(toks.get(after).is_some_and(|t| t.is_punct(':'))
+            && toks.get(after + 1).is_some_and(|t| t.is_punct(':')))
+        {
+            i = after;
+            continue;
+        }
+        let names_start = after + 2;
+        for (line, name) in imported_names(toks, names_start) {
+            if !name_allowed(&name) {
+                report.violations.push(Violation {
+                    file: file.path.clone(),
+                    line,
+                    pass: Pass::Facade,
+                    message: format!(
+                        "`std::sync::atomic::{}` bypasses the loom facade: import it \
+                         from `crate::primitives` (nbbst-reclaim) so `--cfg loom` \
+                         builds model-check it, or alias it as `Counter*` if it is \
+                         a pure instrumentation counter",
+                        name.text
+                    ),
+                });
+            }
+        }
+        i = names_start;
+    }
+}
+
+/// `Ordering` is always std's; `Counter*` aliases mark documented
+/// instrumentation counters.
+fn name_allowed(name: &ImportedName) -> bool {
+    name.text == "Ordering"
+        || name
+            .alias
+            .as_deref()
+            .is_some_and(|a| a.starts_with("Counter"))
+}
+
+#[derive(Debug)]
+struct ImportedName {
+    text: String,
+    alias: Option<String>,
+}
+
+/// The names pulled in at `start`: either a single ident (optionally
+/// `as Alias`, optionally a deeper path like `AtomicPtr::new`) or a
+/// `{ A, B as C }` group.
+fn imported_names(toks: &[Tok], start: usize) -> Vec<(u32, ImportedName)> {
+    let mut out = Vec::new();
+    match toks.get(start).map(|t| &t.kind) {
+        Some(TokKind::Ident(first)) => {
+            let alias = parse_alias(toks, start + 1);
+            out.push((
+                toks[start].line,
+                ImportedName {
+                    text: first.clone(),
+                    alias,
+                },
+            ));
+        }
+        Some(TokKind::Punct('{')) => {
+            let mut j = start + 1;
+            while j < toks.len() && !toks[j].is_punct('}') {
+                if let Some(id) = toks[j].ident() {
+                    let alias = parse_alias(toks, j + 1);
+                    // Skip over `as Alias` so the alias ident is not read
+                    // as another imported name.
+                    let consumed = if alias.is_some() { 2 } else { 0 };
+                    out.push((
+                        toks[j].line,
+                        ImportedName {
+                            text: id.to_string(),
+                            alias,
+                        },
+                    ));
+                    j += consumed;
+                }
+                j += 1;
+            }
+        }
+        _ => {}
+    }
+    out
+}
+
+fn parse_alias(toks: &[Tok], at: usize) -> Option<String> {
+    if toks.get(at)?.ident() == Some("as") {
+        return toks.get(at + 1)?.ident().map(str::to_string);
+    }
+    None
+}
+
+fn is_path(toks: &[Tok], segments: &[&str]) -> bool {
+    let mut idx = 0;
+    for (n, seg) in segments.iter().enumerate() {
+        if toks.get(idx).and_then(Tok::ident) != Some(seg) {
+            return false;
+        }
+        idx += 1;
+        if n + 1 < segments.len() {
+            if !(toks.get(idx).is_some_and(|t| t.is_punct(':'))
+                && toks.get(idx + 1).is_some_and(|t| t.is_punct(':')))
+            {
+                return false;
+            }
+            idx += 2;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+    use crate::manifest::parse;
+
+    fn run(src: &str, exempt: &str) -> Report {
+        let manifest = if exempt.is_empty() {
+            Manifest::default()
+        } else {
+            parse(&format!("[facade]\nexempt = [\"{exempt}\"]\n")).unwrap()
+        };
+        let mut report = Report::default();
+        check(&scan("x.rs", src), &manifest, &mut report);
+        report
+    }
+
+    #[test]
+    fn ordering_import_is_allowed() {
+        assert!(run("use std::sync::atomic::Ordering;", "").is_clean());
+        assert!(run("use std::sync::atomic::Ordering as AtomicOrdering;", "").is_clean());
+        assert!(run("use std::sync::atomic::{Ordering};", "").is_clean());
+    }
+
+    #[test]
+    fn atomic_type_import_is_flagged() {
+        let r = run("use std::sync::atomic::AtomicUsize;", "");
+        assert_eq!(r.by_pass(Pass::Facade).len(), 1);
+    }
+
+    #[test]
+    fn grouped_import_flags_each_bad_name() {
+        let r = run(
+            "use std::sync::atomic::{AtomicU64, AtomicBool, Ordering};",
+            "",
+        );
+        assert_eq!(r.by_pass(Pass::Facade).len(), 2);
+    }
+
+    #[test]
+    fn counter_alias_is_allowed() {
+        let r = run(
+            "use std::sync::atomic::{AtomicU64 as CounterU64, AtomicUsize as CounterUsize};",
+            "",
+        );
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn non_counter_alias_is_flagged() {
+        let r = run("use std::sync::atomic::AtomicU64 as Word;", "");
+        assert_eq!(r.by_pass(Pass::Facade).len(), 1);
+    }
+
+    #[test]
+    fn inline_path_is_flagged() {
+        let r = run(
+            "fn f() { let x = std::sync::atomic::AtomicUsize::new(0); }",
+            "",
+        );
+        assert_eq!(r.by_pass(Pass::Facade).len(), 1);
+    }
+
+    #[test]
+    fn fence_path_is_flagged() {
+        let r = run("fn f() { std::sync::atomic::fence(Ordering::SeqCst); }", "");
+        assert_eq!(r.by_pass(Pass::Facade).len(), 1);
+    }
+
+    #[test]
+    fn exempt_file_is_skipped() {
+        let r = run("use std::sync::atomic::{AtomicUsize, fence};", "x.rs");
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let r = run(
+            "#[cfg(test)]\nmod tests { use std::sync::atomic::AtomicUsize; }",
+            "",
+        );
+        assert!(r.is_clean(), "{r}");
+    }
+}

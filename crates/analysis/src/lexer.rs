@@ -1,0 +1,541 @@
+//! A from-scratch, dependency-free token scanner for Rust source.
+//!
+//! The analysis passes do not need a full parse — they need a token stream
+//! in which string literals, character literals, comments, and attributes
+//! can never be mistaken for code, plus three derived facts per token:
+//! its line, whether it sits inside `#[cfg(test)]` / `#[test]` code, and
+//! the name of the innermost enclosing `fn` (or `macro_rules!`) item.
+//! That is exactly what this module produces; everything subtler (paths,
+//! generics, expressions) stays the passes' problem.
+//!
+//! The scanner understands: line and (nested) block comments, doc
+//! comments, string/raw-string/byte-string literals, char literals vs.
+//! lifetimes, numeric literals, identifiers, and attribute brackets.
+
+use std::fmt;
+
+/// One scanned token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A single punctuation character (`::` is two `Punct(':')` tokens).
+    Punct(char),
+    /// A string/char/numeric literal; contents are irrelevant to the passes.
+    Lit,
+}
+
+/// A token plus the derived facts the passes consume.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// 1-based source line.
+    pub line: u32,
+    /// What the token is.
+    pub kind: TokKind,
+    /// True if the token is inside `#[cfg(test)]` / `#[test]` code.
+    pub test: bool,
+}
+
+impl Tok {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// A comment (line, block, or doc), kept separate from the token stream
+/// for the `SAFETY:` audit.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Raw comment text including its `//` / `/*` introducer.
+    pub text: String,
+}
+
+/// A scanned source file: tokens, comments, and per-token scope names.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// The token stream (comments and whitespace removed).
+    pub tokens: Vec<Tok>,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+    /// For each token, the innermost enclosing `fn`/`macro_rules!` name
+    /// (empty string at module scope). Parallel to `tokens`.
+    pub scopes: Vec<String>,
+}
+
+impl fmt::Display for SourceFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} tokens)", self.path, self.tokens.len())
+    }
+}
+
+/// Scans `source`, then derives test regions and enclosing scopes.
+pub fn scan(path: &str, source: &str) -> SourceFile {
+    let (mut tokens, comments) = tokenize(source);
+    mark_test_regions(&mut tokens);
+    let scopes = enclosing_scopes(&tokens);
+    SourceFile {
+        path: path.to_string(),
+        tokens,
+        comments,
+        scopes,
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn tokenize(source: &str) -> (Vec<Tok>, Vec<Comment>) {
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+    let mut line: u32 = 1;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let start = i;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    line,
+                    text: chars[start..i].iter().collect(),
+                });
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 0usize;
+                while i < chars.len() {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                comments.push(Comment {
+                    line: start_line,
+                    text: chars[start..i.min(chars.len())].iter().collect(),
+                });
+            }
+            '"' => {
+                i = skip_string(&chars, i, &mut line);
+                tokens.push(Tok {
+                    line,
+                    kind: TokKind::Lit,
+                    test: false,
+                });
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&chars, i) => {
+                let lit_line = line;
+                i = skip_raw_or_byte_string(&chars, i, &mut line);
+                tokens.push(Tok {
+                    line: lit_line,
+                    kind: TokKind::Lit,
+                    test: false,
+                });
+            }
+            '\'' => {
+                // Char literal vs. lifetime: '\x', 'a', vs. 'static.
+                if chars.get(i + 1) == Some(&'\\') {
+                    i += 2; // consume '\ and the escape head
+                    while i < chars.len() && chars[i] != '\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                    tokens.push(Tok {
+                        line,
+                        kind: TokKind::Lit,
+                        test: false,
+                    });
+                } else if chars.get(i + 2) == Some(&'\'') {
+                    i += 3;
+                    tokens.push(Tok {
+                        line,
+                        kind: TokKind::Lit,
+                        test: false,
+                    });
+                } else {
+                    // Lifetime: consume the quote and the identifier.
+                    i += 1;
+                    while i < chars.len() && is_ident_continue(chars[i]) {
+                        i += 1;
+                    }
+                    tokens.push(Tok {
+                        line,
+                        kind: TokKind::Lit,
+                        test: false,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                while i < chars.len() && (is_ident_continue(chars[i]) || chars[i] == '.') {
+                    // Stop a numeric literal at `..` (range) or a method call.
+                    if chars[i] == '.'
+                        && (chars.get(i + 1) == Some(&'.')
+                            || chars.get(i + 1).is_some_and(|n| is_ident_start(*n)))
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                tokens.push(Tok {
+                    line,
+                    kind: TokKind::Lit,
+                    test: false,
+                });
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                tokens.push(Tok {
+                    line,
+                    kind: TokKind::Ident(chars[start..i].iter().collect()),
+                    test: false,
+                });
+            }
+            _ => {
+                tokens.push(Tok {
+                    line,
+                    kind: TokKind::Punct(c),
+                    test: false,
+                });
+                i += 1;
+            }
+        }
+    }
+    (tokens, comments)
+}
+
+/// True if position `i` starts `r"`, `r#"`, `b"`, `br"`, `br#"`, `b'`.
+fn starts_raw_or_byte_string(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if chars.get(j) == Some(&'\'') {
+            return true; // byte char literal b'x'
+        }
+    }
+    if chars.get(j) == Some(&'r') {
+        j += 1;
+        while chars.get(j) == Some(&'#') {
+            j += 1;
+        }
+    }
+    chars.get(j) == Some(&'"')
+}
+
+fn skip_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    debug_assert_eq!(chars[i], '"');
+    i += 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+fn skip_raw_or_byte_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    if chars[i] == 'b' {
+        i += 1;
+        if chars.get(i) == Some(&'\'') {
+            // b'x' or b'\n'
+            i += 1;
+            if chars.get(i) == Some(&'\\') {
+                i += 1;
+            }
+            while i < chars.len() && chars[i] != '\'' {
+                i += 1;
+            }
+            return i + 1;
+        }
+    }
+    let mut hashes = 0usize;
+    if chars.get(i) == Some(&'r') {
+        i += 1;
+        while chars.get(i) == Some(&'#') {
+            hashes += 1;
+            i += 1;
+        }
+        debug_assert_eq!(chars.get(i), Some(&'"'));
+        i += 1;
+        // Scan for `"` followed by `hashes` hash marks.
+        while i < chars.len() {
+            if chars[i] == '\n' {
+                *line += 1;
+            }
+            if chars[i] == '"' && chars[i + 1..].iter().take_while(|c| **c == '#').count() >= hashes
+            {
+                return i + 1 + hashes;
+            }
+            i += 1;
+        }
+        return i;
+    }
+    // Plain byte string b"..."
+    skip_string(chars, i, line)
+}
+
+/// Marks every token belonging to a `#[cfg(test)]`- or `#[test]`-gated item
+/// (including the attribute itself) with `test = true`.
+///
+/// An item is "the next thing after the attribute": any further attributes,
+/// then either a `{ ... }`-terminated item (mod/fn/impl) or a `;`-terminated
+/// one (`use`, declarations).
+fn mark_test_regions(tokens: &mut [Tok]) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let (attr_end, is_test) = classify_attribute(tokens, i);
+            if is_test {
+                let end = item_end(tokens, attr_end);
+                for t in tokens[i..end].iter_mut() {
+                    t.test = true;
+                }
+                i = end;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Returns `(index past the closing ']', attribute gates test code)`.
+///
+/// "Gates test code" means `#[test]`, or a `#[cfg(...)]` whose predicate
+/// mentions `test` without a `not`. (`#[cfg(not(test))]` is production
+/// code; `#[cfg(any(test, fuzzing))]` is test code — close enough for a
+/// lint that only needs to avoid false positives on production sites.)
+fn classify_attribute(tokens: &[Tok], start: usize) -> (usize, bool) {
+    let mut idents = Vec::new();
+    let mut depth = 0usize;
+    let mut i = start + 1; // at '['
+    while i < tokens.len() {
+        if tokens[i].is_punct('[') {
+            depth += 1;
+        } else if tokens[i].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                i += 1;
+                break;
+            }
+        } else if let Some(id) = tokens[i].ident() {
+            idents.push(id.to_string());
+        }
+        i += 1;
+    }
+    let is_test = match idents.first().map(String::as_str) {
+        Some("test") if idents.len() == 1 => true,
+        Some("cfg") => idents.iter().any(|s| s == "test") && !idents.iter().any(|s| s == "not"),
+        _ => false,
+    };
+    (i, is_test)
+}
+
+/// Index one past the end of the item starting at `i` (attributes allowed).
+fn item_end(tokens: &[Tok], mut i: usize) -> usize {
+    // Skip any further attributes.
+    while i < tokens.len()
+        && tokens[i].is_punct('#')
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+    {
+        let (end, _) = classify_attribute(tokens, i);
+        i = end;
+    }
+    // Then scan to the first `;` at brace depth 0, or through the first
+    // balanced `{ ... }` group.
+    let mut depth = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('{') {
+            depth += 1;
+        } else if tokens[i].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        } else if tokens[i].is_punct(';') && depth == 0 {
+            return i + 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// For every token, the name of the innermost enclosing `fn` item (or
+/// `macro_rules!` definition, reported as `name!`). Closures and other
+/// brace groups inherit the surrounding function's name.
+fn enclosing_scopes(tokens: &[Tok]) -> Vec<String> {
+    let mut scopes = Vec::with_capacity(tokens.len());
+    // Stack of (brace depth at which the scope opened, name).
+    let mut stack: Vec<(usize, String)> = Vec::new();
+    let mut depth = 0usize;
+    // A declared-but-not-yet-opened fn/macro name.
+    let mut pending: Option<String> = None;
+    for (i, t) in tokens.iter().enumerate() {
+        scopes.push(stack.last().map(|(_, n)| n.clone()).unwrap_or_default());
+        match &t.kind {
+            TokKind::Ident(id) if id == "fn" => {
+                if let Some(name) = tokens.get(i + 1).and_then(Tok::ident) {
+                    pending = Some(name.to_string());
+                }
+            }
+            TokKind::Ident(id) if id == "macro_rules" => {
+                // `macro_rules ! name { ... }`
+                if let Some(name) = tokens.get(i + 2).and_then(Tok::ident) {
+                    pending = Some(format!("{name}!"));
+                }
+            }
+            TokKind::Punct('{') => {
+                depth += 1;
+                if let Some(name) = pending.take() {
+                    stack.push((depth, name));
+                    // The brace token itself belongs to the named scope.
+                    *scopes.last_mut().expect("pushed above") = name_of(&stack);
+                }
+            }
+            TokKind::Punct('}') => {
+                while stack.last().is_some_and(|(d, _)| *d >= depth) {
+                    stack.pop();
+                }
+                depth = depth.saturating_sub(1);
+            }
+            TokKind::Punct(';') => {
+                // Trait method declaration without a body.
+                pending = None;
+            }
+            _ => {}
+        }
+    }
+    scopes
+}
+
+fn name_of(stack: &[(usize, String)]) -> String {
+    stack.last().map(|(_, n)| n.clone()).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_hide_code() {
+        let f = scan(
+            "t.rs",
+            r#"
+            // load(Ordering::SeqCst) in a comment
+            fn a() { let s = "load(Ordering::SeqCst)"; }
+            "#,
+        );
+        assert!(!f.tokens.iter().any(|t| t.ident() == Some("SeqCst")));
+        assert_eq!(f.comments.len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let f = scan(
+            "t.rs",
+            "fn live() { x.load(Ordering::SeqCst); }\n\
+             #[cfg(test)]\nmod tests { fn t() { y.load(Ordering::SeqCst); } }\n",
+        );
+        let seqcst: Vec<bool> = f
+            .tokens
+            .iter()
+            .filter(|t| t.ident() == Some("SeqCst"))
+            .map(|t| t.test)
+            .collect();
+        assert_eq!(seqcst, vec![false, true]);
+    }
+
+    #[test]
+    fn scopes_name_the_enclosing_fn() {
+        let f = scan(
+            "t.rs",
+            "impl Foo { fn bar(&self) { let c = || { x.load(Ordering::Acquire) }; } }\n",
+        );
+        let (i, _) = f
+            .tokens
+            .iter()
+            .enumerate()
+            .find(|(_, t)| t.ident() == Some("load"))
+            .unwrap();
+        assert_eq!(f.scopes[i], "bar");
+    }
+
+    #[test]
+    fn macro_rules_scope_gets_bang_suffix() {
+        let f = scan(
+            "t.rs",
+            "macro_rules! counters { () => { self.x.load(Ordering::Relaxed) }; }\n",
+        );
+        let (i, _) = f
+            .tokens
+            .iter()
+            .enumerate()
+            .find(|(_, t)| t.ident() == Some("load"))
+            .unwrap();
+        assert_eq!(f.scopes[i], "counters!");
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let f = scan(
+            "t.rs",
+            "fn f<'g>(g: &'g Guard) -> Shared<'g, T> { g.load(Ordering::Acquire) }",
+        );
+        assert!(f.tokens.iter().any(|t| t.ident() == Some("Acquire")));
+    }
+
+    #[test]
+    fn raw_strings_are_opaque() {
+        let f = scan(
+            "t.rs",
+            r##"fn f() { let s = r#"x.load(Ordering::SeqCst)"#; }"##,
+        );
+        assert!(!f.tokens.iter().any(|t| t.ident() == Some("SeqCst")));
+    }
+}

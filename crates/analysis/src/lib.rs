@@ -1,0 +1,153 @@
+//! `nbbst-analysis` — offline static analysis for the nbbst workspace.
+//!
+//! The crate ships one tool, **`nbbst-lint`** (run it with
+//! `cargo run -p nbbst-analysis --bin nbbst-lint`), built from three
+//! passes over `crates/core`, `crates/reclaim`, and `crates/dictionary`:
+//!
+//! 1. [`ordering`] — every atomic call site must match a justified row in
+//!    `crates/analysis/orderings.toml`, the machine-readable source of
+//!    truth behind DESIGN.md §8; `SeqCst` is banned outside manifested
+//!    fences; CAS failure orderings may not outrank success.
+//! 2. [`unsafe_audit`] — every `unsafe` block/fn/impl needs a `SAFETY:`
+//!    comment (or `# Safety` doc section) where a reviewer will see it.
+//! 3. [`facade`] — loom-checked code must route atomics through the
+//!    `nbbst-reclaim` primitives facade, never `std::sync::atomic`.
+//!
+//! Everything is dependency-free by design: the lexer is from scratch
+//! (no `syn`), the manifest parser covers exactly the TOML subset the
+//! manifest uses (no `toml`/`serde`), so the lint keeps working in the
+//! registry-less build environment that motivated it.
+
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod facade;
+pub mod lexer;
+pub mod manifest;
+pub mod ordering;
+pub mod report;
+pub mod unsafe_audit;
+
+pub use report::{Pass, Report, Violation};
+
+use std::path::{Path, PathBuf};
+
+/// The crates the lint covers, relative to the workspace root. The
+/// manifest, DESIGN.md §8, and the CI job all quantify over these.
+pub const LINTED_CRATES: [&str; 3] = ["crates/core", "crates/reclaim", "crates/dictionary"];
+
+/// The default manifest location, relative to the workspace root.
+pub const MANIFEST_PATH: &str = "crates/analysis/orderings.toml";
+
+/// Resolves the workspace root from this crate's build-time location.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/analysis sits two levels under the workspace root")
+        .to_path_buf()
+}
+
+/// Recursively collects `.rs` files under `dir`, workspace-relative,
+/// sorted for deterministic reports.
+fn rust_sources(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            rust_sources(root, &path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(
+                path.strip_prefix(root)
+                    .expect("sources live under the root")
+                    .to_path_buf(),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Runs all three passes over the workspace's linted crates using the
+/// checked-in manifest. This is what the binary, the tier-1 regression
+/// test, and CI all call.
+pub fn run_workspace_lint(root: &Path) -> Report {
+    let manifest_text = match std::fs::read_to_string(root.join(MANIFEST_PATH)) {
+        Ok(t) => t,
+        Err(e) => {
+            let mut report = Report::default();
+            report.violations.push(Violation {
+                file: MANIFEST_PATH.to_string(),
+                line: 0,
+                pass: Pass::Manifest,
+                message: format!("cannot read ordering manifest: {e}"),
+            });
+            return report;
+        }
+    };
+    let mut files = Vec::new();
+    for krate in LINTED_CRATES {
+        // Only `src/`: integration tests, benches, and examples are test
+        // code by construction.
+        let src = root.join(krate).join("src");
+        if let Err(e) = rust_sources(root, &src, &mut files) {
+            let mut report = Report::default();
+            report.violations.push(Violation {
+                file: format!("{krate}/src"),
+                line: 0,
+                pass: Pass::Manifest,
+                message: format!("cannot walk sources: {e}"),
+            });
+            return report;
+        }
+    }
+    run_lint(root, &manifest_text, &files)
+}
+
+/// Runs all three passes over an explicit file list with an explicit
+/// manifest — the reusable core (fixture tests drive this directly).
+pub fn run_lint(root: &Path, manifest_text: &str, files: &[PathBuf]) -> Report {
+    let mut report = Report::default();
+    let manifest = match manifest::parse(manifest_text) {
+        Ok(m) => m,
+        Err(e) => {
+            report.violations.push(Violation {
+                file: MANIFEST_PATH.to_string(),
+                line: e.line,
+                pass: Pass::Manifest,
+                message: e.message,
+            });
+            return report;
+        }
+    };
+    report.manifest_rows = manifest.sites.len();
+
+    let mut all_sites: Vec<(String, ordering::Site)> = Vec::new();
+    for rel in files {
+        let path_str = rel
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        let source = match std::fs::read_to_string(root.join(rel)) {
+            Ok(s) => s,
+            Err(e) => {
+                report.violations.push(Violation {
+                    file: path_str,
+                    line: 0,
+                    pass: Pass::Manifest,
+                    message: format!("cannot read source: {e}"),
+                });
+                continue;
+            }
+        };
+        let file = lexer::scan(&path_str, &source);
+        report.files_scanned += 1;
+        let sites = ordering::check(&file, &manifest, &mut report);
+        unsafe_audit::check(&file, &mut report);
+        facade::check(&file, &manifest, &mut report);
+        all_sites.extend(sites.into_iter().map(|s| (file.path.clone(), s)));
+    }
+    ordering::check_stale_rows(&manifest, &all_sites, &mut report);
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    report
+}

@@ -1,0 +1,356 @@
+//! The machine-readable ordering manifest (`orderings.toml`).
+//!
+//! `orderings.toml` is the source of truth for every atomic call site in
+//! the linted crates; DESIGN.md §8 is its rendered, prose form. Each
+//! `[[site]]` row names a file, the enclosing function, the atomic
+//! operation, its ordering(s), and a one-line justification. The ordering
+//! pass fails if code and manifest disagree in either direction.
+//!
+//! The parser handles exactly the TOML subset the manifest uses — table
+//! arrays (`[[site]]`), one plain table (`[facade]`), string values, and
+//! string arrays — because the offline build environment has no `toml`
+//! crate. Unknown keys or malformed lines are hard errors: a manifest
+//! that cannot be read precisely is a manifest that cannot be trusted.
+
+use std::fmt;
+
+/// The five atomic orderings; `parse` rejects anything else.
+pub const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Atomic operations the ordering pass recognizes as call sites.
+pub const OPS: [&str; 15] = [
+    "load",
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_nand",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_update",
+    "fetch_max",
+    "fetch_min",
+    "fence",
+];
+
+/// One manifested atomic call site (a `[[site]]` row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteRow {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// Enclosing function name (`name!` for `macro_rules!` bodies).
+    pub function: String,
+    /// The atomic operation (`load`, `compare_exchange`, `fence`, ...).
+    pub op: String,
+    /// Success (or only) ordering.
+    pub ordering: String,
+    /// Failure ordering; present only for `compare_exchange{,_weak}`.
+    pub failure: Option<String>,
+    /// One-line justification; must be non-empty.
+    pub why: String,
+    /// Line number of the row in the manifest, for diagnostics.
+    pub line: u32,
+}
+
+impl fmt::Display for SiteRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} in fn {} ({}, {}{})",
+            self.op,
+            self.function,
+            self.file,
+            self.ordering,
+            self.failure
+                .as_deref()
+                .map(|x| format!("/{x}"))
+                .unwrap_or_default()
+        )
+    }
+}
+
+/// The parsed manifest.
+#[derive(Debug, Default)]
+pub struct Manifest {
+    /// All `[[site]]` rows in file order.
+    pub sites: Vec<SiteRow>,
+    /// Files allowed to name `std::sync::atomic` types directly
+    /// (`[facade] exempt = [...]`) — the facade module itself.
+    pub facade_exempt: Vec<String>,
+}
+
+impl Manifest {
+    /// Rows matching a detected site's identity key.
+    pub fn rows_for(&self, file: &str, function: &str, op: &str) -> Vec<&SiteRow> {
+        self.sites
+            .iter()
+            .filter(|r| r.file == file && r.function == function && r.op == op)
+            .collect()
+    }
+}
+
+/// A manifest parse or validation error.
+#[derive(Debug)]
+pub struct ManifestError {
+    /// 1-based line in the manifest file.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "orderings.toml:{}: {}", self.line, self.message)
+    }
+}
+
+enum Section {
+    None,
+    Site(SiteRow),
+    Facade,
+}
+
+/// Parses and validates manifest text.
+pub fn parse(text: &str) -> Result<Manifest, ManifestError> {
+    let mut manifest = Manifest::default();
+    let mut section = Section::None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[site]]" {
+            flush(
+                &mut manifest,
+                std::mem::replace(&mut section, Section::None),
+                lineno,
+            )?;
+            section = Section::Site(SiteRow {
+                file: String::new(),
+                function: String::new(),
+                op: String::new(),
+                ordering: String::new(),
+                failure: None,
+                why: String::new(),
+                line: lineno,
+            });
+            continue;
+        }
+        if line == "[facade]" {
+            flush(
+                &mut manifest,
+                std::mem::replace(&mut section, Section::None),
+                lineno,
+            )?;
+            section = Section::Facade;
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(ManifestError {
+                line: lineno,
+                message: format!("unknown section {line}"),
+            });
+        }
+        let (key, value) = split_kv(line, lineno)?;
+        match &mut section {
+            Section::None => {
+                return Err(ManifestError {
+                    line: lineno,
+                    message: format!("key `{key}` outside any section"),
+                })
+            }
+            Section::Facade => match key {
+                "exempt" => manifest.facade_exempt = parse_string_array(value, lineno)?,
+                _ => {
+                    return Err(ManifestError {
+                        line: lineno,
+                        message: format!("unknown [facade] key `{key}`"),
+                    })
+                }
+            },
+            Section::Site(row) => {
+                let value = parse_string(value, lineno)?;
+                match key {
+                    "file" => row.file = value,
+                    "function" => row.function = value,
+                    "op" => row.op = value,
+                    "ordering" => row.ordering = value,
+                    "failure" => row.failure = Some(value),
+                    "why" => row.why = value,
+                    _ => {
+                        return Err(ManifestError {
+                            line: lineno,
+                            message: format!("unknown [[site]] key `{key}`"),
+                        })
+                    }
+                }
+            }
+        }
+    }
+    flush(&mut manifest, section, text.lines().count() as u32)?;
+    Ok(manifest)
+}
+
+fn flush(manifest: &mut Manifest, section: Section, at: u32) -> Result<(), ManifestError> {
+    if let Section::Site(row) = section {
+        validate_row(&row, at)?;
+        manifest.sites.push(row);
+    }
+    Ok(())
+}
+
+fn validate_row(row: &SiteRow, at: u32) -> Result<(), ManifestError> {
+    let err = |message: String| {
+        Err(ManifestError {
+            line: row.line.min(at),
+            message,
+        })
+    };
+    if row.file.is_empty()
+        || row.function.is_empty()
+        || row.op.is_empty()
+        || row.ordering.is_empty()
+    {
+        return err("a [[site]] row needs file, function, op, and ordering".into());
+    }
+    if row.why.trim().is_empty() {
+        return err(format!("site `{row}` has no justification (`why`)"));
+    }
+    if !OPS.contains(&row.op.as_str()) {
+        return err(format!("unknown op `{}`", row.op));
+    }
+    for ord in std::iter::once(&row.ordering).chain(row.failure.iter()) {
+        if !ORDERINGS.contains(&ord.as_str()) {
+            return err(format!("unknown ordering `{ord}`"));
+        }
+    }
+    let is_cas = row.op.starts_with("compare_exchange");
+    if row.failure.is_some() && !is_cas {
+        return err(format!("op `{}` takes no failure ordering", row.op));
+    }
+    if is_cas && row.failure.is_none() {
+        return err(format!("`{}` needs a failure ordering", row.op));
+    }
+    // DESIGN.md §8: the only place SeqCst may appear in non-test code is a
+    // documented fence (the store-load races Acquire/Release cannot order).
+    if row.ordering == "SeqCst" && row.op != "fence" {
+        return err(format!(
+            "SeqCst is only manifestable on `fence` sites, not `{}`",
+            row.op
+        ));
+    }
+    if row.failure.as_deref() == Some("SeqCst") {
+        return err("SeqCst failure orderings are never manifestable".into());
+    }
+    Ok(())
+}
+
+fn split_kv(line: &str, lineno: u32) -> Result<(&str, &str), ManifestError> {
+    let (key, value) = line.split_once('=').ok_or(ManifestError {
+        line: lineno,
+        message: format!("expected `key = value`, got `{line}`"),
+    })?;
+    Ok((key.trim(), value.trim()))
+}
+
+fn parse_string(value: &str, lineno: u32) -> Result<String, ManifestError> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or(ManifestError {
+            line: lineno,
+            message: format!("expected a double-quoted string, got `{value}`"),
+        })?;
+    if inner.contains('"') {
+        return Err(ManifestError {
+            line: lineno,
+            message: "embedded quotes are not supported".into(),
+        });
+    }
+    Ok(inner.to_string())
+}
+
+fn parse_string_array(value: &str, lineno: u32) -> Result<Vec<String>, ManifestError> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or(ManifestError {
+            line: lineno,
+            message: format!("expected `[\"a\", \"b\"]`, got `{value}`"),
+        })?;
+    inner
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| parse_string(s, lineno))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+# comment
+[[site]]
+file = "crates/core/src/node.rs"
+function = "load_update"
+op = "load"
+ordering = "Acquire"
+why = "helpers deref the published Info record"
+
+[[site]]
+file = "crates/core/src/tree.rs"
+function = "insert_entry"
+op = "compare_exchange"
+ordering = "Release"
+failure = "Acquire"
+why = "iflag publishes the IInfo; failure is helped"
+
+[facade]
+exempt = ["crates/reclaim/src/primitives.rs"]
+"#;
+
+    #[test]
+    fn parses_sites_and_facade() {
+        let m = parse(GOOD).unwrap();
+        assert_eq!(m.sites.len(), 2);
+        assert_eq!(m.sites[0].function, "load_update");
+        assert_eq!(m.sites[1].failure.as_deref(), Some("Acquire"));
+        assert_eq!(m.facade_exempt, vec!["crates/reclaim/src/primitives.rs"]);
+        assert_eq!(
+            m.rows_for("crates/core/src/node.rs", "load_update", "load")
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn rejects_seqcst_on_non_fence() {
+        let bad = "[[site]]\nfile = \"f\"\nfunction = \"g\"\nop = \"load\"\nordering = \"SeqCst\"\nwhy = \"w\"\n";
+        assert!(parse(bad).unwrap_err().message.contains("fence"));
+    }
+
+    #[test]
+    fn rejects_missing_why() {
+        let bad =
+            "[[site]]\nfile = \"f\"\nfunction = \"g\"\nop = \"load\"\nordering = \"Acquire\"\n";
+        assert!(parse(bad).unwrap_err().message.contains("justification"));
+    }
+
+    #[test]
+    fn rejects_cas_without_failure() {
+        let bad = "[[site]]\nfile = \"f\"\nfunction = \"g\"\nop = \"compare_exchange\"\nordering = \"Release\"\nwhy = \"w\"\n";
+        assert!(parse(bad).unwrap_err().message.contains("failure"));
+    }
+
+    #[test]
+    fn rejects_unknown_keys() {
+        let bad = "[[site]]\nfrobnicate = \"x\"\n";
+        assert!(parse(bad).unwrap_err().message.contains("unknown"));
+    }
+}

@@ -1,0 +1,370 @@
+//! Pass 1 — atomics-ordering conformance.
+//!
+//! Detects every atomic call site in non-test code — a method call named
+//! `load`/`store`/`swap`/`compare_exchange{,_weak}`/`fetch_*`, or a
+//! `fence(...)` call, whose arguments name at least one ordering literal —
+//! and enforces:
+//!
+//! 1. every site matches a `[[site]]` row in `orderings.toml`
+//!    (file + enclosing function + op + exact orderings);
+//! 2. every manifest row matches at least one site (no stale rows);
+//! 3. no `SeqCst` anywhere in non-test code, except the argument of a
+//!    manifested `fence` (DESIGN.md §8 keeps exactly the store-load
+//!    fences that `Acquire`/`Release` cannot replace);
+//! 4. no `compare_exchange` failure ordering stronger than the load
+//!    component of its success ordering.
+//!
+//! Forwarding shims that take an `Ordering` parameter (e.g.
+//! `Atomic::load(&self, ord, guard)` calling `self.data.load(ord)`) are
+//! deliberately not sites: DESIGN.md §8's rule is that *call sites* name
+//! literal orderings, and those are what the manifest records.
+
+use crate::lexer::{SourceFile, Tok};
+use crate::manifest::{Manifest, OPS, ORDERINGS};
+use crate::report::{Pass, Report, Violation};
+
+/// A detected atomic call site.
+#[derive(Debug)]
+pub struct Site {
+    /// 1-based line of the operation token.
+    pub line: u32,
+    /// Enclosing function (`name!` for macro bodies, "" at module scope).
+    pub function: String,
+    /// The operation name.
+    pub op: String,
+    /// Ordering literals in argument order (success first for CAS).
+    pub orderings: Vec<String>,
+    /// Token index range covering the call, for SeqCst accounting.
+    pub span: (usize, usize),
+}
+
+/// Scans one file for atomic call sites (non-test tokens only).
+pub fn detect_sites(file: &SourceFile) -> Vec<Site> {
+    let toks = &file.tokens;
+    let mut sites = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].test {
+            i += 1;
+            continue;
+        }
+        let (op_idx, op) = match site_head(toks, i) {
+            Some(x) => x,
+            None => {
+                i += 1;
+                continue;
+            }
+        };
+        // Collect ordering literals inside the balanced argument list.
+        let open = op_idx + 1;
+        let mut depth = 0usize;
+        let mut j = open;
+        let mut orderings = Vec::new();
+        while j < toks.len() {
+            if toks[j].is_punct('(') {
+                depth += 1;
+            } else if toks[j].is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if let Some(id) = toks[j].ident() {
+                if ORDERINGS.contains(&id) {
+                    orderings.push(id.to_string());
+                }
+            }
+            j += 1;
+        }
+        if orderings.is_empty() {
+            // A forwarding shim (parameterized ordering) or an unrelated
+            // method that happens to share a name; not a site.
+            i = op_idx + 1;
+            continue;
+        }
+        sites.push(Site {
+            line: toks[op_idx].line,
+            function: file.scopes[op_idx].clone(),
+            op,
+            orderings,
+            span: (i, j + 1),
+        });
+        i = j + 1;
+    }
+    sites
+}
+
+/// If a site's call head starts at `i`, returns `(op token index, op)`.
+/// Method sites are `.op(`; fence sites are a bare `fence(` path segment
+/// that is not a declaration or import.
+fn site_head(toks: &[Tok], i: usize) -> Option<(usize, String)> {
+    if toks[i].is_punct('.') {
+        let op = toks.get(i + 1)?.ident()?;
+        if OPS.contains(&op) && toks.get(i + 2)?.is_punct('(') {
+            return Some((i + 1, op.to_string()));
+        }
+        return None;
+    }
+    if toks[i].ident() == Some("fence") && toks.get(i + 1)?.is_punct('(') {
+        // Exclude `fn fence(` definitions (the facade's passthrough).
+        if i > 0 && toks[i - 1].ident() == Some("fn") {
+            return None;
+        }
+        return Some((i, "fence".to_string()));
+    }
+    None
+}
+
+/// The load component of a success ordering: what a failed CAS's read may
+/// legitimately be as strong as.
+fn load_component(success: &str) -> &'static str {
+    match success {
+        "Relaxed" | "Release" => "Relaxed",
+        "Acquire" | "AcqRel" => "Acquire",
+        _ => "SeqCst",
+    }
+}
+
+fn load_rank(ord: &str) -> u8 {
+    match ord {
+        "Relaxed" => 0,
+        "Acquire" => 1,
+        _ => 2, // SeqCst
+    }
+}
+
+/// Runs the ordering pass for one file, appending findings to `report`.
+pub fn check(file: &SourceFile, manifest: &Manifest, report: &mut Report) -> Vec<Site> {
+    let sites = detect_sites(file);
+    report.sites_checked += sites.len();
+
+    for site in &sites {
+        let is_cas = site.op.starts_with("compare_exchange");
+        // Rule 4: failure stronger than success's load component.
+        if is_cas && site.orderings.len() >= 2 {
+            let (succ, fail) = (&site.orderings[0], &site.orderings[1]);
+            if load_rank(fail) > load_rank(load_component(succ)) {
+                report.violations.push(Violation {
+                    file: file.path.clone(),
+                    line: site.line,
+                    pass: Pass::Ordering,
+                    message: format!(
+                        "compare_exchange failure ordering {fail} is stronger than \
+                         success {succ} provides on the read ({}); a failed CAS \
+                         must not synchronize more than a successful one",
+                        load_component(succ)
+                    ),
+                });
+            }
+        }
+
+        // Rule 1: manifest conformance.
+        let rows = manifest.rows_for(&file.path, &site.function, &site.op);
+        let matched = rows.iter().any(|r| {
+            r.ordering == site.orderings[0]
+                && (!is_cas || r.failure.as_deref() == site.orderings.get(1).map(String::as_str))
+        });
+        if !matched {
+            let observed = site.orderings.join("/");
+            let message = if rows.is_empty() {
+                format!(
+                    "unmanifested atomic site: {}({observed}) in fn {} — add a \
+                     justified [[site]] row to crates/analysis/orderings.toml \
+                     (and DESIGN.md §8)",
+                    site.op,
+                    scope_name(&site.function),
+                )
+            } else {
+                let expected: Vec<String> = rows
+                    .iter()
+                    .map(|r| {
+                        r.failure
+                            .as_deref()
+                            .map(|f| format!("{}/{f}", r.ordering))
+                            .unwrap_or_else(|| r.ordering.clone())
+                    })
+                    .collect();
+                format!(
+                    "ordering mismatch: {}({observed}) in fn {} — manifest rows \
+                     for this site say {}",
+                    site.op,
+                    scope_name(&site.function),
+                    expected.join(" or "),
+                )
+            };
+            report.violations.push(Violation {
+                file: file.path.clone(),
+                line: site.line,
+                pass: Pass::Ordering,
+                message,
+            });
+        }
+    }
+
+    // Rule 3: SeqCst accounting. Allowed only inside a manifested fence.
+    for (i, t) in file.tokens.iter().enumerate() {
+        if t.test || t.ident() != Some("SeqCst") {
+            continue;
+        }
+        let covered = sites.iter().any(|s| {
+            s.op == "fence"
+                && i >= s.span.0
+                && i < s.span.1
+                && manifest
+                    .rows_for(&file.path, &s.function, "fence")
+                    .iter()
+                    .any(|r| r.ordering == "SeqCst")
+        });
+        if !covered {
+            report.violations.push(Violation {
+                file: file.path.clone(),
+                line: t.line,
+                pass: Pass::Ordering,
+                message: "SeqCst in non-test code: DESIGN.md §8 permits SeqCst only \
+                          on manifested fences (store-load races); pick a per-site \
+                          Acquire/Release/Relaxed ordering and manifest it"
+                    .to_string(),
+            });
+        }
+    }
+
+    sites
+}
+
+/// Cross-file staleness check (rule 2): every manifest row must have
+/// matched at least one detected site.
+pub fn check_stale_rows(manifest: &Manifest, all_sites: &[(String, Site)], report: &mut Report) {
+    for row in &manifest.sites {
+        let hit = all_sites.iter().any(|(path, s)| {
+            *path == row.file
+                && s.function == row.function
+                && s.op == row.op
+                && s.orderings[0] == row.ordering
+                && (!row.op.starts_with("compare_exchange")
+                    || row.failure.as_deref() == s.orderings.get(1).map(String::as_str))
+        });
+        if !hit {
+            report.violations.push(Violation {
+                file: "crates/analysis/orderings.toml".to_string(),
+                line: row.line,
+                pass: Pass::Manifest,
+                message: format!(
+                    "stale manifest row: no atomic site matches `{row}` — the code \
+                     moved; update the row (and DESIGN.md §8) or delete it"
+                ),
+            });
+        }
+    }
+}
+
+fn scope_name(function: &str) -> &str {
+    if function.is_empty() {
+        "<module scope>"
+    } else {
+        function
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+    use crate::manifest::parse;
+
+    fn run(src: &str, manifest: &str) -> Report {
+        let f = scan("x.rs", src);
+        let m = parse(manifest).unwrap();
+        let mut report = Report::default();
+        let sites = check(&f, &m, &mut report);
+        let tagged: Vec<(String, Site)> = sites.into_iter().map(|s| (f.path.clone(), s)).collect();
+        check_stale_rows(&m, &tagged, &mut report);
+        report
+    }
+
+    const ROW: &str = "[[site]]\nfile = \"x.rs\"\nfunction = \"f\"\nop = \"load\"\nordering = \"Acquire\"\nwhy = \"w\"\n";
+
+    #[test]
+    fn manifested_site_is_clean() {
+        let r = run("fn f() { x.load(Ordering::Acquire); }", ROW);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn unmanifested_site_is_flagged() {
+        let r = run("fn f() { x.store(1, Ordering::Release); }", "");
+        assert_eq!(r.by_pass(Pass::Ordering).len(), 1);
+    }
+
+    #[test]
+    fn ordering_mismatch_is_flagged() {
+        let r = run("fn f() { x.load(Ordering::Relaxed); }", ROW);
+        let v = r.by_pass(Pass::Ordering);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("mismatch"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn stale_row_is_flagged() {
+        let r = run("fn g() {}", ROW);
+        assert_eq!(r.by_pass(Pass::Manifest).len(), 1);
+    }
+
+    #[test]
+    fn seqcst_load_is_flagged_even_if_unmanifestable() {
+        let r = run("fn f() { x.load(Ordering::SeqCst); }", "");
+        // Unmanifested site + SeqCst literal.
+        assert_eq!(r.by_pass(Pass::Ordering).len(), 2);
+    }
+
+    #[test]
+    fn manifested_seqcst_fence_is_allowed() {
+        let m = "[[site]]\nfile = \"x.rs\"\nfunction = \"f\"\nop = \"fence\"\nordering = \"SeqCst\"\nwhy = \"store-load race\"\n";
+        let r = run("fn f() { fence(Ordering::SeqCst); }", m);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn unmanifested_seqcst_fence_is_flagged() {
+        let r = run("fn f() { fence(Ordering::SeqCst); }", "");
+        assert_eq!(r.by_pass(Pass::Ordering).len(), 2);
+    }
+
+    #[test]
+    fn cas_failure_stronger_than_success_is_flagged() {
+        let r = run(
+            "fn f() { x.compare_exchange(a, b, Ordering::Release, Ordering::Acquire); }",
+            "[[site]]\nfile = \"x.rs\"\nfunction = \"f\"\nop = \"compare_exchange\"\n\
+             ordering = \"Release\"\nfailure = \"Acquire\"\nwhy = \"w\"\n",
+        );
+        let v = r.by_pass(Pass::Ordering);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("stronger"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn acqrel_acquire_cas_is_fine() {
+        let r = run(
+            "fn f() { x.compare_exchange(a, b, Ordering::AcqRel, Ordering::Acquire); }",
+            "[[site]]\nfile = \"x.rs\"\nfunction = \"f\"\nop = \"compare_exchange\"\n\
+             ordering = \"AcqRel\"\nfailure = \"Acquire\"\nwhy = \"w\"\n",
+        );
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn forwarding_shim_is_not_a_site() {
+        let r = run(
+            "fn load_with(&self, ord: Ordering) { self.data.load(ord); }",
+            "",
+        );
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let r = run(
+            "#[cfg(test)]\nmod tests { fn t() { x.load(Ordering::SeqCst); } }",
+            "",
+        );
+        assert!(r.is_clean(), "{r}");
+    }
+}

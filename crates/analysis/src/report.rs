@@ -1,0 +1,99 @@
+//! Violation collection and rendering.
+
+use std::fmt;
+
+/// Which analysis pass produced a violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pass {
+    /// Atomics-ordering conformance against `orderings.toml`.
+    Ordering,
+    /// `unsafe` blocks/fns/impls without a `SAFETY:` comment.
+    UnsafeAudit,
+    /// `std::sync::atomic` used where the loom facade is required.
+    Facade,
+    /// The manifest itself is stale or invalid.
+    Manifest,
+}
+
+impl fmt::Display for Pass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Pass::Ordering => "ordering",
+            Pass::UnsafeAudit => "unsafe-audit",
+            Pass::Facade => "facade",
+            Pass::Manifest => "manifest",
+        })
+    }
+}
+
+/// One finding; rendering matches rustc's `file:line: message` shape so
+/// editors and CI annotations pick the locations up.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Producing pass.
+    pub pass: Pass,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.pass, self.message
+        )
+    }
+}
+
+/// The outcome of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, in file order.
+    pub violations: Vec<Violation>,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Atomic call sites checked against the manifest.
+    pub sites_checked: usize,
+    /// `unsafe` occurrences audited.
+    pub unsafe_audited: usize,
+    /// Manifest rows loaded.
+    pub manifest_rows: usize,
+}
+
+impl Report {
+    /// True if the run found nothing.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Findings from one pass.
+    pub fn by_pass(&self, pass: Pass) -> Vec<&Violation> {
+        self.violations.iter().filter(|v| v.pass == pass).collect()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for v in &self.violations {
+            writeln!(f, "{v}")?;
+        }
+        writeln!(
+            f,
+            "nbbst-lint: {} file(s), {} atomic site(s), {} unsafe occurrence(s), {} manifest row(s): {}",
+            self.files_scanned,
+            self.sites_checked,
+            self.unsafe_audited,
+            self.manifest_rows,
+            if self.is_clean() {
+                "clean".to_string()
+            } else {
+                format!("{} violation(s)", self.violations.len())
+            }
+        )
+    }
+}

@@ -1,0 +1,238 @@
+//! Pass 2 — the `unsafe` audit.
+//!
+//! Every `unsafe` block, `unsafe fn`, and `unsafe impl` in non-test code
+//! must carry its safety argument where a reviewer will see it:
+//!
+//! * a `// SAFETY:` (or `/* SAFETY: */`) comment within 3 lines above the
+//!   `unsafe` keyword, on its line, or on the line right after it (the
+//!   first line inside the block); or
+//! * for `unsafe fn` / `unsafe impl` items only, a `# Safety` section (or
+//!   `SAFETY:` note) anywhere in the contiguous doc-comment/attribute
+//!   block immediately above the item — the rustdoc convention.
+
+use crate::lexer::SourceFile;
+use crate::report::{Pass, Report, Violation};
+
+/// How many lines above an `unsafe` keyword a `SAFETY:` comment may sit.
+const WINDOW_ABOVE: u32 = 3;
+/// Allow the comment on the first line inside the block, too.
+const WINDOW_BELOW: u32 = 1;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UnsafeKind {
+    Block,
+    Fn,
+    Impl,
+}
+
+impl UnsafeKind {
+    fn describe(self) -> &'static str {
+        match self {
+            UnsafeKind::Block => "unsafe block",
+            UnsafeKind::Fn => "unsafe fn",
+            UnsafeKind::Impl => "unsafe impl",
+        }
+    }
+}
+
+/// A maximal run of comments on adjacent lines, treated as one logical
+/// comment: a `// SAFETY: ...` explanation spanning several lines counts
+/// as near an `unsafe` as long as the run's *last* line is.
+struct CommentRun {
+    start: u32,
+    end: u32,
+    has_safety: bool,
+}
+
+fn comment_runs(file: &SourceFile) -> Vec<CommentRun> {
+    let mut runs: Vec<CommentRun> = Vec::new();
+    for c in &file.comments {
+        let end = comment_end_line(c);
+        let has_safety = c.text.contains("SAFETY:");
+        match runs.last_mut() {
+            Some(run) if c.line <= run.end + 1 => {
+                run.end = run.end.max(end);
+                run.has_safety |= has_safety;
+            }
+            _ => runs.push(CommentRun {
+                start: c.line,
+                end,
+                has_safety,
+            }),
+        }
+    }
+    runs
+}
+
+/// Runs the unsafe audit for one file, appending findings to `report`.
+pub fn check(file: &SourceFile, report: &mut Report) {
+    let runs = comment_runs(file);
+    for (i, t) in file.tokens.iter().enumerate() {
+        if t.test || t.ident() != Some("unsafe") {
+            continue;
+        }
+        // `unsafe fn(..)` with no name after `fn` is a function-pointer
+        // *type* (e.g. a field `drop_fn: unsafe fn(*mut ())`), not an
+        // unsafe item — nothing to audit.
+        if file.tokens.get(i + 1).and_then(|n| n.ident()) == Some("fn")
+            && file.tokens.get(i + 2).and_then(|n| n.ident()).is_none()
+        {
+            continue;
+        }
+        report.unsafe_audited += 1;
+        let kind = match file.tokens.get(i + 1).and_then(|n| n.ident()) {
+            Some("fn") => UnsafeKind::Fn,
+            Some("impl") => UnsafeKind::Impl,
+            // `unsafe extern "C" fn`, `unsafe trait`, or `unsafe {`.
+            Some("extern") | Some("trait") => UnsafeKind::Fn,
+            _ => UnsafeKind::Block,
+        };
+        let line = t.line;
+
+        let near = runs.iter().any(|r| {
+            r.has_safety && r.end + WINDOW_ABOVE >= line && r.start <= line + WINDOW_BELOW
+        });
+        let documented = match kind {
+            UnsafeKind::Block => false,
+            _ => doc_block_has_safety(file, line),
+        };
+        if !near && !documented {
+            report.violations.push(Violation {
+                file: file.path.clone(),
+                line,
+                pass: Pass::UnsafeAudit,
+                message: format!(
+                    "{} without a safety argument: add `// SAFETY: ...` within \
+                     {WINDOW_ABOVE} lines{}",
+                    kind.describe(),
+                    if kind == UnsafeKind::Block {
+                        ""
+                    } else {
+                        " or a `# Safety` doc section"
+                    }
+                ),
+            });
+        }
+    }
+}
+
+/// True if the contiguous comment run ending directly above `line` (doc
+/// comments and attributes count as contiguous) mentions `# Safety` or
+/// `SAFETY:`.
+fn doc_block_has_safety(file: &SourceFile, line: u32) -> bool {
+    // Collect comment lines above the item; walk upward while each comment
+    // line is adjacent (within 1 line of the previous, attributes allowed
+    // between — approximated by a 2-line tolerance).
+    let mut expect = line.saturating_sub(1);
+    let mut found = false;
+    for c in file.comments.iter().rev() {
+        if c.line > expect {
+            continue;
+        }
+        if expect.saturating_sub(comment_end_line(c)) > 2 {
+            break;
+        }
+        if c.text.contains("# Safety") || c.text.contains("SAFETY:") {
+            found = true;
+            break;
+        }
+        expect = c.line.saturating_sub(1);
+    }
+    found
+}
+
+/// Last line a (possibly multi-line block) comment touches.
+fn comment_end_line(c: &crate::lexer::Comment) -> u32 {
+    c.line + c.text.matches('\n').count() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn run(src: &str) -> Report {
+        let mut report = Report::default();
+        check(&scan("x.rs", src), &mut report);
+        report
+    }
+
+    #[test]
+    fn commented_block_is_clean() {
+        let r = run("fn f() {\n    // SAFETY: exclusive access.\n    unsafe { go() }\n}");
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn comment_inside_block_counts() {
+        let r = run(
+            "fn f() {\n    unsafe {\n        // SAFETY: exclusive access.\n        go()\n    }\n}",
+        );
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn bare_block_is_flagged() {
+        let r = run("fn f() { unsafe { go() } }");
+        assert_eq!(r.violations.len(), 1);
+        assert!(r.violations[0].message.contains("unsafe block"));
+    }
+
+    #[test]
+    fn comment_too_far_is_flagged() {
+        let r = run("// SAFETY: too far away.\n\n\n\n\nfn f() { unsafe { go() } }");
+        assert_eq!(r.violations.len(), 1);
+    }
+
+    #[test]
+    fn long_comment_run_counts_from_its_last_line() {
+        let r = run(
+            "fn f() {\n    // SAFETY: a long argument\n    // spanning\n    // five\n    \
+             // whole\n    // lines.\n    unsafe { go() }\n}",
+        );
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn doc_safety_section_covers_unsafe_fn() {
+        let r = run(
+            "/// Frees the thing.\n///\n/// # Safety\n///\n/// Caller must own `p`.\n\
+             pub unsafe fn free(p: *mut u8) { drop_it(p) }",
+        );
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn undocumented_unsafe_fn_is_flagged() {
+        let r = run("pub unsafe fn free(p: *mut u8) { drop_it(p) }");
+        assert_eq!(r.violations.len(), 1);
+        assert!(r.violations[0].message.contains("unsafe fn"));
+    }
+
+    #[test]
+    fn unsafe_impl_wants_safety_comment() {
+        let r = run("unsafe impl Send for Foo {}");
+        assert_eq!(r.violations.len(), 1);
+        let r = run("// SAFETY: Foo owns nothing thread-bound.\nunsafe impl Send for Foo {}");
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let r = run("#[cfg(test)]\nmod tests { fn t() { unsafe { go() } } }");
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn fn_pointer_type_is_not_an_item() {
+        let r = run("struct D { drop_fn: unsafe fn(*mut ()) }");
+        assert!(r.is_clean(), "{r}");
+        assert_eq!(r.unsafe_audited, 0);
+    }
+
+    #[test]
+    fn unsafe_in_comment_or_string_is_ignored() {
+        let r = run("fn f() { let s = \"unsafe { }\"; } // unsafe in prose\n");
+        assert!(r.is_clean(), "{r}");
+    }
+}

@@ -1,0 +1,127 @@
+//! One fixture per violation class, driven through [`nbbst_analysis::run_lint`]
+//! exactly as the workspace lint runs — these pin down the messages and
+//! pass assignments the tool promises, so refactors of the passes cannot
+//! silently stop detecting a class.
+
+use std::path::{Path, PathBuf};
+
+use nbbst_analysis::{Pass, Report};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Lints one fixture file with the fixtures' manifest.
+fn lint_fixture(name: &str) -> Report {
+    let root = fixture_root();
+    let manifest = std::fs::read_to_string(root.join("orderings.toml"))
+        .expect("fixtures/orderings.toml exists");
+    nbbst_analysis::run_lint(&root, &manifest, &[PathBuf::from(name)])
+}
+
+fn messages(report: &Report, pass: Pass) -> Vec<String> {
+    report
+        .by_pass(pass)
+        .into_iter()
+        .map(|v| v.message.clone())
+        .collect()
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let r = lint_fixture("clean.rs");
+    assert!(r.is_clean(), "{r}");
+    assert_eq!(r.sites_checked, 1);
+    assert_eq!(r.unsafe_audited, 1);
+}
+
+#[test]
+fn unmanifested_site_is_flagged() {
+    let r = lint_fixture("unmanifested.rs");
+    let msgs = messages(&r, Pass::Ordering);
+    assert_eq!(msgs.len(), 1, "{r}");
+    assert!(msgs[0].contains("unmanifested atomic site"), "{r}");
+    assert!(msgs[0].contains("load(Acquire)"), "{r}");
+}
+
+#[test]
+fn seqcst_regression_is_flagged() {
+    let r = lint_fixture("seqcst.rs");
+    let msgs = messages(&r, Pass::Ordering);
+    // The SeqCst literal itself plus the unmanifested site.
+    assert!(
+        msgs.iter().any(|m| m.contains("SeqCst in non-test code")),
+        "{r}"
+    );
+}
+
+#[test]
+fn stronger_failure_cas_is_flagged() {
+    let r = lint_fixture("cas_failure.rs");
+    let msgs = messages(&r, Pass::Ordering);
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("failure ordering Acquire is stronger")),
+        "{r}"
+    );
+}
+
+#[test]
+fn missing_safety_comment_is_flagged() {
+    let r = lint_fixture("missing_safety.rs");
+    let msgs = messages(&r, Pass::UnsafeAudit);
+    assert_eq!(msgs.len(), 1, "{r}");
+    assert!(
+        msgs[0].contains("unsafe block without a safety argument"),
+        "{r}"
+    );
+}
+
+#[test]
+fn facade_bypass_is_flagged() {
+    let r = lint_fixture("facade_bypass.rs");
+    let msgs = messages(&r, Pass::Facade);
+    // AtomicUsize is flagged; Ordering is allowed.
+    assert_eq!(msgs.len(), 1, "{r}");
+    assert!(msgs[0].contains("AtomicUsize"), "{r}");
+}
+
+#[test]
+fn stale_manifest_row_is_flagged() {
+    // Lint a file that has no sites at all against a manifest that claims
+    // one: the row must be reported as stale.
+    let root = fixture_root();
+    let manifest = std::fs::read_to_string(root.join("orderings.toml")).unwrap();
+    let r = nbbst_analysis::run_lint(&root, &manifest, &[PathBuf::from("missing_safety.rs")]);
+    assert!(
+        r.by_pass(Pass::Manifest)
+            .iter()
+            .any(|v| v.message.contains("stale")),
+        "{r}"
+    );
+}
+
+/// The acceptance check from the issue, in miniature: seeding any fixture
+/// violation into an otherwise-clean file must flip the report dirty.
+#[test]
+fn seeded_violation_flips_a_clean_file_dirty() {
+    let root = fixture_root();
+    let manifest = std::fs::read_to_string(root.join("orderings.toml")).unwrap();
+    let clean = std::fs::read_to_string(root.join("clean.rs")).unwrap();
+    for seed in [
+        "pub fn seeded(x: &AtomicU64) { x.store(1, Ordering::SeqCst); }",
+        "pub fn seeded(p: *mut u8) { unsafe { *p = 0 }; }",
+    ] {
+        let dir = std::env::temp_dir().join(format!(
+            "nbbst-lint-seed-{}-{}",
+            std::process::id(),
+            seed.len()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("clean.rs"), format!("{clean}\n{seed}\n")).unwrap();
+        let r = nbbst_analysis::run_lint(&dir, &manifest, &[PathBuf::from("clean.rs")]);
+        assert!(!r.is_clean(), "seed `{seed}` went undetected");
+        std::fs::remove_file(dir.join("clean.rs")).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+}

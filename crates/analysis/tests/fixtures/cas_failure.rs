@@ -1,0 +1,7 @@
+// Fixture: a compare_exchange whose failure ordering (Acquire) is
+// stronger than what its success ordering (Release) provides on the
+// read side (Relaxed). Expected: [ordering] failure-stronger violation.
+
+pub fn lopsided_cas(word: &AtomicUsize) {
+    let _ = word.compare_exchange(0, 1, Ordering::Release, Ordering::Acquire);
+}

@@ -1,0 +1,13 @@
+// Fixture: fully conformant code — manifested site, SAFETY-commented
+// unsafe, facade-compliant imports. Expected: no violations.
+
+use std::sync::atomic::Ordering;
+
+pub fn manifested_load(flag: &AtomicUsize) -> usize {
+    flag.load(Ordering::Acquire)
+}
+
+pub fn reads_raw(p: *const u64) -> u64 {
+    // SAFETY: callers pass a pointer to a live, aligned u64.
+    unsafe { *p }
+}

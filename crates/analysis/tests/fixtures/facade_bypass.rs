@@ -1,0 +1,4 @@
+// Fixture: a direct std::sync::atomic type import in loom-checked code.
+// Expected: one [facade] violation (Ordering alone would be fine).
+
+use std::sync::atomic::{AtomicUsize, Ordering};

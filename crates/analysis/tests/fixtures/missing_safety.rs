@@ -1,0 +1,6 @@
+// Fixture: an unsafe block with no SAFETY comment anywhere near it.
+// Expected: one [unsafe-audit] violation.
+
+pub fn reads_raw(p: *const u64) -> u64 {
+    unsafe { *p }
+}

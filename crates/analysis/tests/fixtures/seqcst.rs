@@ -1,0 +1,6 @@
+// Fixture: blanket SeqCst outside a manifested fence.
+// Expected: [ordering] SeqCst violation (plus the unmanifested-site one).
+
+pub fn seqcst_regression(flag: &AtomicUsize) -> usize {
+    flag.load(Ordering::SeqCst)
+}

@@ -1,0 +1,6 @@
+// Fixture: an atomic call site with no [[site]] row in the manifest.
+// Expected: one [ordering] "unmanifested atomic site" violation.
+
+pub fn rogue_load(flag: &AtomicUsize) -> usize {
+    flag.load(Ordering::Acquire)
+}

@@ -1,0 +1,28 @@
+//! Tier-1 regression: the workspace must lint clean.
+//!
+//! This is the same check CI's `lint-atomics` job runs via the
+//! `nbbst-lint` binary; running it as a plain `#[test]` keeps
+//! `cargo test` sufficient to catch ordering/manifest drift locally.
+
+#[test]
+fn workspace_lints_clean() {
+    let root = nbbst_analysis::workspace_root();
+    let report = nbbst_analysis::run_workspace_lint(&root);
+    assert!(
+        report.is_clean(),
+        "nbbst-lint found violations — run `cargo run -p nbbst-analysis \
+         --bin nbbst-lint` and fix (or justify in orderings.toml):\n{report}"
+    );
+}
+
+#[test]
+fn workspace_inventory_is_plausible() {
+    // Guards against the lint silently scanning nothing (e.g. a path
+    // regression making every crate directory unreadable).
+    let root = nbbst_analysis::workspace_root();
+    let report = nbbst_analysis::run_workspace_lint(&root);
+    assert!(report.files_scanned >= 10, "{report}");
+    assert!(report.sites_checked >= 80, "{report}");
+    assert!(report.unsafe_audited >= 100, "{report}");
+    assert!(report.manifest_rows >= 50, "{report}");
+}

@@ -145,6 +145,7 @@ where
                 go(l, lo, hi, guard, out);
             }
             if visit_right {
+                // SAFETY: reachable child under pin.
                 let r = unsafe { node.load_child(false, guard).deref() };
                 go(r, lo, hi, guard, out);
             }

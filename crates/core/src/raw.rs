@@ -194,6 +194,8 @@ where
             InsertPhase::Searched,
             "help_blocker() requires search()"
         );
+        // SAFETY: `pupdate_bits` was read by our search under the
+        // still-held guard, so any Info record it tags is protected.
         let word: UpdateRef<'_, K, V> = unsafe { Shared::from_data(self.pupdate_bits) };
         if word.state() != State::Clean {
             self.tree.help(word, &self.guard);
@@ -293,6 +295,8 @@ where
         let info = unsafe { op_word.deref() }.as_insert();
         let p = unsafe { &*info.p };
         let l: Shared<'_, Node<K, V>> = unsafe { Shared::from_data(info.l as usize) };
+        // SAFETY: the nodes named by a published IInfo stay guard-protected
+        // until its unflag winner retires them.
         let new: Shared<'_, Node<K, V>> = unsafe { Shared::from_data(info.new_internal as usize) };
         let won = self.tree.cas_child(p, l, new, &self.guard);
         if won {
@@ -317,6 +321,8 @@ where
             InsertPhase::ChildDone,
             "unflag() requires execute_child()"
         );
+        // SAFETY: `op` was published by our flag CAS; the record and the
+        // nodes it names are guard-protected until unflag retires them.
         let op_word: UpdateRef<'_, K, V> = unsafe { Shared::from_data(self.op as usize) };
         let info = unsafe { op_word.deref() }.as_insert();
         let p = unsafe { &*info.p };
@@ -353,6 +359,7 @@ where
             matches!(self.phase, InsertPhase::Flagged | InsertPhase::ChildDone),
             "complete() requires a successful flag()"
         );
+        // SAFETY: `op` was published by our flag CAS and is guard-protected.
         let op_word: UpdateRef<'_, K, V> = unsafe { Shared::from_data(self.op as usize) };
         self.tree.help_insert(op_word, &self.guard);
         self.phase = InsertPhase::Done;
@@ -442,6 +449,7 @@ where
             "search() after flag(); restart semantics match the paper"
         );
         let s = self.tree.search(&self.key, &self.guard);
+        // SAFETY: `s.l` is a leaf the search just read under our guard.
         let l_ref = unsafe { s.l.deref() };
         if l_ref.key.as_key() != Some(&self.key) {
             return DeleteSearch::NotFound;
@@ -474,6 +482,8 @@ where
             DeletePhase::Searched,
             "help_blocker() requires search()"
         );
+        // SAFETY: both words were read by our search under the still-held
+        // guard, so any Info record they tag is protected.
         let gpw: UpdateRef<'_, K, V> = unsafe { Shared::from_data(self.gpupdate_bits) };
         let pw: UpdateRef<'_, K, V> = unsafe { Shared::from_data(self.pupdate_bits) };
         if gpw.state() != State::Clean {
@@ -535,6 +545,8 @@ where
     /// Panics unless [`RawDelete::flag`] succeeded.
     pub fn mark(&mut self) -> MarkOutcome {
         assert_eq!(self.phase, DeletePhase::Flagged, "mark() requires flag()");
+        // SAFETY: `op` was published by our flag CAS; the record and the
+        // nodes it names are guard-protected until it is retired.
         let op_word: UpdateRef<'_, K, V> = unsafe { Shared::from_data(self.op as usize) };
         let info = unsafe { op_word.deref() }.as_delete();
         let p = unsafe { &*info.p };
@@ -581,8 +593,12 @@ where
             DeletePhase::Marked,
             "execute_child() requires mark()"
         );
+        // SAFETY: `op` was published by our flag CAS; the record, and every
+        // node it names (`p`, `gp`, `l`), stay guard-protected until the
+        // record is retired by its circuit's unflag winner.
         let op_word: UpdateRef<'_, K, V> = unsafe { Shared::from_data(self.op as usize) };
         let info = unsafe { op_word.deref() }.as_delete();
+        // SAFETY: as above.
         let p = unsafe { &*info.p };
         let gp = unsafe { &*info.gp };
         let right = p.load_child(false, &self.guard);
@@ -591,6 +607,7 @@ where
         } else {
             right
         };
+        // SAFETY: same published-DInfo protection as above.
         let p_shared: Shared<'_, Node<K, V>> = unsafe { Shared::from_data(info.p as usize) };
         let l_shared: Shared<'_, Node<K, V>> = unsafe { Shared::from_data(info.l as usize) };
         let won = self.tree.cas_child(gp, p_shared, other, &self.guard);
@@ -620,6 +637,8 @@ where
             DeletePhase::ChildDone,
             "unflag() requires execute_child()"
         );
+        // SAFETY: `op` was published by our flag CAS; the record and the
+        // nodes it names are guard-protected until unflag retires them.
         let op_word: UpdateRef<'_, K, V> = unsafe { Shared::from_data(self.op as usize) };
         let info = unsafe { op_word.deref() }.as_delete();
         let gp = unsafe { &*info.gp };
@@ -661,6 +680,8 @@ where
             DeletePhase::Flagged,
             "backtrack() requires a flagged, unmarked delete"
         );
+        // SAFETY: `op` was published by our flag CAS; the record and the
+        // nodes it names are guard-protected until backtrack retires them.
         let op_word: UpdateRef<'_, K, V> = unsafe { Shared::from_data(self.op as usize) };
         let info = unsafe { op_word.deref() }.as_delete();
         let gp = unsafe { &*info.gp };
@@ -703,6 +724,7 @@ where
             ),
             "complete() requires a successful flag()"
         );
+        // SAFETY: `op` was published by our flag CAS and is guard-protected.
         let op_word: UpdateRef<'_, K, V> = unsafe { Shared::from_data(self.op as usize) };
         let was_unmarked = self.phase == DeletePhase::Flagged;
         let done = self.tree.help_delete(op_word, &self.guard);
@@ -785,6 +807,7 @@ where
 
     /// Whether the cursor is currently on an internal node keyed `key`.
     pub fn at_internal_keyed(&self, key: &K) -> bool {
+        // SAFETY: as in `step`.
         let cur = unsafe { &*self.cursor };
         !cur.is_leaf && cur.key.as_key() == Some(key)
     }
@@ -797,6 +820,7 @@ where
 
     /// If the cursor is on a leaf, the `Find` result.
     pub fn result(&self) -> Option<bool> {
+        // SAFETY: as in `step`.
         let cur = unsafe { &*self.cursor };
         cur.is_leaf.then(|| cur.key.as_key() == Some(&self.key))
     }

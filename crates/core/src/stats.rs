@@ -12,14 +12,21 @@
 //! increments; they are for experiments, not for synchronization.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+// `Counter*` alias: the nbbst-lint facade pass recognizes it as the
+// documented instrumentation exclusion — these never synchronize and
+// deliberately stay std atomics under `--cfg loom` (see
+// nbbst-reclaim's `primitives` module).
+use std::sync::atomic::{AtomicU64 as CounterU64, Ordering};
+
+/// The counter word: a std atomic even under loom (instrumentation only).
+pub(crate) type Counter = CounterU64;
 
 macro_rules! stats_fields {
     ($($(#[$doc:meta])* $name:ident),+ $(,)?) => {
         /// Live counters attached to a tree (all `u64`, relaxed).
         #[derive(Debug, Default)]
         pub struct TreeStats {
-            $( $(#[$doc])* pub(crate) $name: AtomicU64, )+
+            $( $(#[$doc])* pub(crate) $name: Counter, )+
         }
 
         /// A point-in-time copy of [`TreeStats`].

@@ -146,7 +146,7 @@ where
     }
 
     #[inline]
-    fn bump(&self, f: impl FnOnce(&TreeStats) -> &std::sync::atomic::AtomicU64) {
+    fn bump(&self, f: impl FnOnce(&TreeStats) -> &crate::stats::Counter) {
         if let Some(s) = &self.stats {
             f(s).fetch_add(1, AtomicOrdering::Relaxed);
         }
@@ -155,7 +155,7 @@ where
     /// Counter access for the stepped drivers in [`crate::raw`], which
     /// perform the same CAS steps outside the normal code paths.
     #[inline]
-    pub(crate) fn bump_stat(&self, f: impl FnOnce(&TreeStats) -> &std::sync::atomic::AtomicU64) {
+    pub(crate) fn bump_stat(&self, f: impl FnOnce(&TreeStats) -> &crate::stats::Counter) {
         self.bump(f);
     }
 
@@ -228,6 +228,7 @@ where
         let guard = self.pin();
         let s = self.search(key, &guard);
         self.bump(|st| &st.finds);
+        // SAFETY: `l` points to a leaf protected by `guard`.
         let l_ref = unsafe { s.l.deref() };
         if l_ref.key.as_key() == Some(key) {
             l_ref.value.clone()
@@ -256,6 +257,7 @@ where
         loop {
             let guard = self.pin();
             let s = self.search(&key, &guard); //                       line 49
+                                               // SAFETY: `l` points to a leaf protected by `guard`.
             let l_ref = unsafe { s.l.deref() };
             if l_ref.key.as_key() == Some(&key) {
                 // Line 50: cannot insert a duplicate key. Recover the
@@ -301,14 +303,17 @@ where
 
             // Line 56: the iflag CAS.
             self.bump(|st| &st.iflag_attempts);
+            // SAFETY: `p` was read by this search and is guard-protected.
             let p_ref = unsafe { s.p.deref() };
-            // Release publishes the fresh IInfo record (and the subtree it
-            // points to) to helpers; Acquire on failure because the observed
-            // word is helped (dereferenced) below.
+            // AcqRel: Release publishes the fresh IInfo record (and the
+            // subtree it points to) to helpers; failure is Acquire because
+            // the observed word is helped (dereferenced) below, and a
+            // failed CAS must not synchronize more than a successful one,
+            // so success carries the Acquire too (enforced by nbbst-lint).
             match p_ref.update.compare_exchange(
                 s.pupdate,
                 op,
-                AtomicOrdering::Release,
+                AtomicOrdering::AcqRel,
                 AtomicOrdering::Acquire,
                 &guard,
             ) {
@@ -356,6 +361,7 @@ where
         loop {
             let guard = self.pin();
             let s = self.search(key, &guard); //                        line 75
+                                              // SAFETY: `l` points to a leaf protected by `guard`.
             let l_ref = unsafe { s.l.deref() };
             if l_ref.key.as_key() != Some(key) {
                 // Line 76: key not in the tree.
@@ -388,13 +394,17 @@ where
 
             // Line 81: the dflag CAS.
             self.bump(|st| &st.dflag_attempts);
+            // SAFETY: `gp` was read by this search and is guard-protected
+            // (non-null was asserted above).
             let gp_ref = unsafe { s.gp.deref() };
-            // Release publishes the fresh DInfo record; Acquire on failure
-            // because the observed word is helped (dereferenced) below.
+            // AcqRel: Release publishes the fresh DInfo record; failure is
+            // Acquire because the observed word is helped (dereferenced)
+            // below, and success must be at least as strong on the read
+            // side as failure (enforced by nbbst-lint).
             match gp_ref.update.compare_exchange(
                 s.gpupdate,
                 op,
-                AtomicOrdering::Release,
+                AtomicOrdering::AcqRel,
                 AtomicOrdering::Acquire,
                 &guard,
             ) {
@@ -451,6 +461,7 @@ where
         // earlier than the record's circuit completes.
         let p = unsafe { &*info.p };
         let l: Shared<'_, Node<K, V>> = unsafe { Shared::from_data(info.l as usize) };
+        // SAFETY: as above — named by a live Info record.
         let new: Shared<'_, Node<K, V>> = unsafe { Shared::from_data(info.new_internal as usize) };
 
         // Line 66: the ichild CAS (via CAS-Child). At most one helper's CAS
@@ -498,6 +509,7 @@ where
         // backtrack CAS retires it.
         let info = unsafe { op.deref() }.as_delete();
         let p = unsafe { &*info.p };
+        // SAFETY: as above — named by a live Info record.
         let gp = unsafe { &*info.gp };
 
         // Line 91: the mark CAS, expecting the pupdate word the deleter's
@@ -505,13 +517,15 @@ where
         let expected = info.pupdate_word(guard);
         let mark_word = op.with_tag(State::Mark.tag());
         self.bump(|st| &st.mark_attempts);
-        // Release publishes the Mark (pointing at the already-published
-        // DInfo); Acquire on failure because the observed word is helped
-        // (dereferenced) in the backtrack arm below.
+        // AcqRel: Release publishes the Mark (pointing at the already-
+        // published DInfo); failure is Acquire because the observed word is
+        // helped (dereferenced) in the backtrack arm below, and success
+        // must be at least as strong on the read side as failure
+        // (enforced by nbbst-lint).
         let outcome = p.update.compare_exchange(
             expected,
             mark_word,
-            AtomicOrdering::Release,
+            AtomicOrdering::AcqRel,
             AtomicOrdering::Acquire,
             guard,
         );
@@ -566,6 +580,9 @@ where
     pub(crate) fn help_marked(&self, op: UpdateRef<'_, K, V>, guard: &Guard) {
         self.bump(|st| &st.help_marked_calls);
         let op = op.with_tag(0);
+        // SAFETY: `op` is a live, guard-protected DInfo record (retired
+        // only by its circuit's dunflag or backtrack winner), and the
+        // nodes it names outlive it.
         let info = unsafe { op.deref() }.as_delete();
         let p = unsafe { &*info.p };
         let gp = unsafe { &*info.gp };
@@ -582,6 +599,7 @@ where
 
         // Line 105: the dchild CAS. The unique winner retires the two
         // removed nodes (the marked parent and the deleted leaf).
+        // SAFETY: both nodes are named by the live DInfo record above.
         let p_shared: Shared<'_, Node<K, V>> = unsafe { Shared::from_data(info.p as usize) };
         let l_shared: Shared<'_, Node<K, V>> = unsafe { Shared::from_data(info.l as usize) };
         if self.cas_child(gp, p_shared, other, guard) {

@@ -289,3 +289,78 @@ fn delete_delete_sibling_leaves() {
         );
     });
 }
+
+/// Scenario 6 — **three-thread insert + delete + helper**: a delete of
+/// key 1 is stranded mid-protocol (dflag + mark, then abandoned), and
+/// *three* threads then work the tree at once: one inserts key 3, one
+/// deletes key 2, and one re-attempts `remove_key(&1)`. The re-attempt can
+/// never win its own dflag — the grandparent is already flagged and the
+/// parent permanently marked — so in every schedule it must finish the
+/// stranded DInfo (dchild + dunflag) and then report the key absent, while
+/// the insert and the sibling delete contend with that helping in the same
+/// corner of the tree. This is the smallest scenario where helping, a
+/// fresh insert, and a fresh delete are all simultaneously in flight.
+#[test]
+fn three_threads_insert_delete_helper() {
+    loom::model(|| {
+        let live = Arc::new(AtomicIsize::new(0));
+        {
+            let tree = Arc::new(NbBst::<u64, Token>::with_stats());
+            tree.insert_entry(1, Token::new(&live)).unwrap();
+            tree.insert_entry(2, Token::new(&live)).unwrap();
+
+            {
+                // Strand a delete of key 1: flagged + marked, child CAS and
+                // unflag left for whichever thread reaches the corner first.
+                let mut del = nbbst_core::raw::RawDelete::new(&tree, 1);
+                assert!(del.search().is_ready(), "key 1 is present");
+                assert!(del.flag(), "no contention yet: dflag must win");
+                assert_eq!(del.mark(), nbbst_core::raw::MarkOutcome::Marked);
+                del.abandon();
+            }
+
+            let inserter = {
+                let tree = Arc::clone(&tree);
+                let live = Arc::clone(&live);
+                loom::thread::spawn(move || {
+                    tree.insert_entry(3, Token::new(&live))
+                        .unwrap_or_else(|_| panic!("insert 3 on fresh key failed"));
+                })
+            };
+            let deleter = {
+                let tree = Arc::clone(&tree);
+                loom::thread::spawn(move || {
+                    assert!(tree.remove_key(&2), "2 was inserted before the race");
+                })
+            };
+            let helper = {
+                let tree = Arc::clone(&tree);
+                loom::thread::spawn(move || {
+                    assert!(
+                        !tree.remove_key(&1),
+                        "the stranded delete owns key 1: the re-attempt may only \
+                         help it, never delete the leaf a second time"
+                    );
+                })
+            };
+            inserter.join().unwrap();
+            deleter.join().unwrap();
+            helper.join().unwrap();
+
+            assert!(!tree.contains_key(&1), "stranded delete never completed");
+            assert!(!tree.contains_key(&2), "deleted key resurfaced");
+            assert!(tree.contains_key(&3), "inserted key lost");
+            // The abandoned driver never ran its own dchild/dunflag, so the
+            // strict identities hold only up to abandonment.
+            tree.stats()
+                .expect("stats enabled")
+                .check_figure4_allowing_abandoned()
+                .expect("Figure 4 identities (three-thread variant)");
+        }
+        assert_eq!(
+            live.load(Ordering::Relaxed),
+            0,
+            "value leak or double-free after teardown"
+        );
+    });
+}

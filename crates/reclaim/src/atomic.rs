@@ -289,6 +289,8 @@ impl<T> Pointer<T> for Owned<T> {
     fn into_data(self) -> usize {
         Owned::into_data(self)
     }
+    // SAFETY: trait contract — `data` came from `Owned::into_data`, so it
+    // is a uniquely-owned heap pointer (plus tag) of the right type.
     unsafe fn from_data(data: usize) -> Self {
         Owned {
             data,
@@ -301,6 +303,8 @@ impl<'g, T> Pointer<T> for Shared<'g, T> {
     fn into_data(self) -> usize {
         self.data
     }
+    // SAFETY: trait contract — `data` came from `Shared::into_data`, so the
+    // borrowed word is valid for the guard lifetime it is rebuilt under.
     unsafe fn from_data(data: usize) -> Self {
         Shared {
             data,

@@ -125,6 +125,8 @@ impl Global {
     fn acquire_record(&self) -> *const Participant {
         // Try to reuse a record released by an exited thread.
         let mut cur = self.participants.load(Ordering::Acquire);
+        // SAFETY: participant records are only freed by `Global::drop`
+        // (exclusive access), so the list is traversable under `&self`.
         while let Some(p) = unsafe { cur.as_ref() } {
             if p.claimed
                 .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
@@ -142,6 +144,7 @@ impl Global {
         }));
         let mut head = self.participants.load(Ordering::Acquire);
         loop {
+            // SAFETY: `rec` is ours until the CAS below publishes it.
             unsafe { (*rec).next.store(head, Ordering::Relaxed) };
             match self
                 .participants
@@ -162,6 +165,7 @@ impl Global {
         // The epoch may only advance if every *pinned* participant has
         // observed the current epoch.
         let mut cur = self.participants.load(Ordering::Acquire);
+        // SAFETY: records live until `Global::drop`; see `acquire_record`.
         while let Some(p) = unsafe { cur.as_ref() } {
             let state = p.state.load(Ordering::Relaxed);
             if let Some(e) = Participant::decode(state) {
@@ -221,6 +225,8 @@ impl Drop for Global {
         // free all participant records and any remaining orphaned garbage.
         let mut cur = *self.participants.get_mut();
         while !cur.is_null() {
+            // SAFETY: `&mut self` — no thread holds a handle; every record
+            // came from `Box::into_raw` and is freed exactly once here.
             let boxed = unsafe { Box::from_raw(cur) };
             cur = boxed.next.load(Ordering::Relaxed);
         }
@@ -246,8 +252,9 @@ impl Drop for Global {
 /// let slot = Atomic::new(1u64);
 ///
 /// let guard = collector.pin();
-/// let old = slot.load(Ordering::SeqCst, &guard);
-/// slot.compare_exchange(old, Owned::new(2u64), Ordering::SeqCst, Ordering::SeqCst, &guard)
+/// // Acquire/Release per site, not blanket SeqCst (see DESIGN.md §8).
+/// let old = slot.load(Ordering::Acquire, &guard);
+/// slot.compare_exchange(old, Owned::new(2u64), Ordering::Release, Ordering::Relaxed, &guard)
 ///     .expect("uncontended CAS succeeds");
 /// // The old value is unlinked; defer its destruction until no pinned
 /// // thread can still hold a reference.
@@ -319,6 +326,8 @@ impl Collector {
             // Purge handles whose collector is gone (all `Collector` clones
             // dropped); their garbage migrates to the orphan list.
             cache.retain(|h| {
+                // SAFETY: a cached handle holds a `handle_count` reference,
+                // so its `inner` is live.
                 unsafe { &*h.inner }
                     .global
                     .collectors
@@ -327,6 +336,7 @@ impl Collector {
             });
             if let Some(h) = cache
                 .iter()
+                // SAFETY: as above — cached handles keep `inner` live.
                 .find(|h| Arc::ptr_eq(&unsafe { &*h.inner }.global, &self.global))
             {
                 return h.pin();
@@ -457,6 +467,7 @@ fn evict_cached_handle(global: &Arc<Global>) {
     let _ = CACHED_HANDLES.try_with(|cache| {
         // A live guard keeps the registration alive past the eviction via
         // the `LocalInner` refcounts, so this is safe even mid-pin.
+        // SAFETY: cached handles hold a `handle_count` reference to `inner`.
         cache
             .borrow_mut()
             .retain(|h| !Arc::ptr_eq(&unsafe { &*h.inner }.global, global));
@@ -606,9 +617,13 @@ impl LocalInner {
 }
 
 fn release_inner(inner: *mut LocalInner) {
+    // SAFETY: callers hold (and have just released) a counted reference,
+    // so `inner` is still live here.
     let r = unsafe { &*inner };
     if r.guard_count.get() == 0 && r.handle_count.get() == 0 {
         r.finalize();
+        // SAFETY: both counts are zero, so this is the last reference;
+        // the box came from `Box::into_raw` and is freed exactly once.
         drop(unsafe { Box::from_raw(inner) });
     }
 }
@@ -626,6 +641,7 @@ impl LocalHandle {
     /// Pins the thread; shared pointers loaded under the returned [`Guard`]
     /// remain valid until it drops.
     pub fn pin(&self) -> Guard {
+        // SAFETY: a live handle holds a `handle_count` reference to `inner`.
         let inner = unsafe { &*self.inner };
         inner.pin();
         Guard { local: self.inner }
@@ -633,12 +649,14 @@ impl LocalHandle {
 
     /// Whether the thread currently holds at least one guard.
     pub fn is_pinned(&self) -> bool {
+        // SAFETY: a live handle holds a `handle_count` reference to `inner`.
         unsafe { &*self.inner }.guard_count.get() > 0
     }
 }
 
 impl Drop for LocalHandle {
     fn drop(&mut self) {
+        // SAFETY: our `handle_count` reference is released only below.
         let inner = unsafe { &*self.inner };
         inner.handle_count.set(inner.handle_count.get() - 1);
         release_inner(self.inner);
@@ -691,6 +709,8 @@ impl Guard {
     /// the borrow checker enforces this because the guard is mutably
     /// borrowed for the duration.
     pub fn repin_after<F: FnOnce() -> R, R>(&mut self, f: F) -> R {
+        // SAFETY: non-null `local` is kept live by our `guard_count`
+        // reference; null is the unprotected guard (else branch).
         if let Some(local) = unsafe { self.local.as_ref() } {
             // Only sound to fully unpin when this is the sole guard.
             assert_eq!(
@@ -711,6 +731,7 @@ impl Guard {
 impl Drop for Guard {
     fn drop(&mut self) {
         if !self.local.is_null() {
+            // SAFETY: our `guard_count` reference is released only below.
             let inner = unsafe { &*self.local };
             inner.unpin();
             release_inner(self.local);

@@ -33,7 +33,7 @@
 //! ```
 
 use crate::deferred::Deferred;
-use crate::primitives::{AtomicBool, AtomicPtr, AtomicUsize, Mutex, Ordering};
+use crate::primitives::{fence, AtomicBool, AtomicPtr, AtomicUsize, Mutex, Ordering};
 use std::collections::HashSet;
 use std::fmt;
 
@@ -80,6 +80,8 @@ impl Domain {
     pub fn hazard_pointer(&self) -> HazardPointer<'_> {
         // Reuse an inactive slot if possible.
         let mut cur = self.slots.load(Ordering::Acquire);
+        // SAFETY: slots are only freed by `Domain::drop`, which requires
+        // exclusive access to the domain; `&self` keeps them alive here.
         while let Some(s) = unsafe { cur.as_ref() } {
             if s.active
                 .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
@@ -100,6 +102,7 @@ impl Domain {
         }));
         let mut head = self.slots.load(Ordering::Acquire);
         loop {
+            // SAFETY: `slot` is ours until the CAS below publishes it.
             unsafe { (*slot).next.store(head, Ordering::Relaxed) };
             match self
                 .slots
@@ -149,10 +152,22 @@ impl Domain {
 
     fn scan(&self) -> usize {
         // Snapshot the hazard set *before* deciding what to free.
+        //
+        // StoreLoad fence, paired with the one in `protect`: the caller's
+        // unlinking CAS must be globally ordered against the hazard loads
+        // below. If a protector's fence precedes ours, its hazard store is
+        // visible to this scan; if ours precedes its, the unlink is visible
+        // to its validating re-read and `protect` retries. Acquire/Release
+        // cannot order a store against a later load, so this is one of the
+        // documented SeqCst fences of DESIGN.md §8 (the only form of SeqCst
+        // nbbst-lint accepts).
+        fence(Ordering::SeqCst);
         let mut hazards = HashSet::new();
         let mut cur = self.slots.load(Ordering::Acquire);
+        // SAFETY: slots live until `Domain::drop` (exclusive), so the list
+        // is traversable under `&self`.
         while let Some(s) = unsafe { cur.as_ref() } {
-            let h = s.hazard.load(Ordering::SeqCst);
+            let h = s.hazard.load(Ordering::Acquire);
             if h != 0 {
                 hazards.insert(h);
             }
@@ -199,6 +214,9 @@ impl Drop for Domain {
         // objects (their `Deferred`s run on drop).
         let mut cur = *self.slots.get_mut();
         while !cur.is_null() {
+            // SAFETY: `&mut self` means no `HazardPointer` borrows the
+            // domain; every slot came from `Box::into_raw` and is freed
+            // exactly once by this walk.
             let boxed = unsafe { Box::from_raw(cur) };
             cur = boxed.next.load(Ordering::Relaxed);
         }
@@ -240,10 +258,15 @@ impl HazardPointer<'_> {
     pub fn protect<T>(&mut self, src: &AtomicPtr<T>) -> *mut T {
         loop {
             let p = src.load(Ordering::Acquire);
-            self.slot().hazard.store(p as usize, Ordering::SeqCst);
+            self.slot().hazard.store(p as usize, Ordering::Release);
+            // StoreLoad fence, paired with the one in `Domain::scan`: the
+            // hazard publication above must be globally ordered against the
+            // validating re-read below — the classic publish-then-validate
+            // race that Acquire/Release cannot order (see DESIGN.md §8).
+            fence(Ordering::SeqCst);
             // Validate: if `src` still holds `p`, then `p` was not retired
             // before our hazard became visible, so any scan must see it.
-            let q = src.load(Ordering::SeqCst);
+            let q = src.load(Ordering::Acquire);
             if p == q {
                 return p;
             }

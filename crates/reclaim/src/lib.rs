@@ -38,11 +38,14 @@
 //! let head = Atomic::new("hello");
 //!
 //! let guard = collector.pin();
-//! let h = head.load(Ordering::SeqCst, &guard);
+//! // Acquire: the loaded pointer is dereferenced below.
+//! let h = head.load(Ordering::Acquire, &guard);
 //! assert_eq!(unsafe { *h.deref() }, "hello");
 //!
-//! // Replace and retire the old value.
-//! head.compare_exchange(h, Owned::new("world"), Ordering::SeqCst, Ordering::SeqCst, &guard)
+//! // Replace and retire the old value. Release publishes the new node;
+//! // the failure ordering stays Relaxed because a failed CAS here is not
+//! // followed by a dereference of the observed value.
+//! head.compare_exchange(h, Owned::new("world"), Ordering::Release, Ordering::Relaxed, &guard)
 //!     .expect("no contention");
 //! unsafe { guard.defer_destroy(h) };
 //! drop(guard);

@@ -46,7 +46,11 @@ pub struct TreiberStack<T> {
     collector: Collector,
 }
 
+// SAFETY: the stack owns its `T`s; all shared mutation goes through the
+// atomic head and the collector's deferred reclamation, so sending or
+// sharing the stack is safe whenever `T: Send`.
 unsafe impl<T: Send> Send for TreiberStack<T> {}
+// SAFETY: as above — `&TreiberStack` exposes only lock-free operations.
 unsafe impl<T: Send> Sync for TreiberStack<T> {}
 
 impl<T> TreiberStack<T> {
@@ -134,6 +138,7 @@ impl<T> Drop for TreiberStack<T> {
         // Relaxed: `&mut self` proves exclusive access at teardown.
         let mut cur = self.head.load(Ordering::Relaxed, &guard);
         while !cur.is_null() {
+            // SAFETY: exclusive access; each node is freed exactly once.
             let node = unsafe { Box::from_raw(cur.as_raw() as *mut StackNode<T>) };
             cur = node.next.load(Ordering::Relaxed, &guard);
         }
@@ -171,7 +176,10 @@ pub struct MsQueue<T> {
     collector: Collector,
 }
 
+// SAFETY: same argument as for `TreiberStack` — the queue owns its `T`s
+// and all shared mutation is lock-free through the collector.
 unsafe impl<T: Send> Send for MsQueue<T> {}
+// SAFETY: as above.
 unsafe impl<T: Send> Sync for MsQueue<T> {}
 
 impl<T> MsQueue<T> {
@@ -252,6 +260,7 @@ impl<T> MsQueue<T> {
             // Acquire on both hops: `head` and `next` are dereferenced
             // (the value moves out of `next`).
             let head = self.head.load(Ordering::Acquire, &guard);
+            // SAFETY: head is never null (dummy node); guard-protected.
             let head_ref = unsafe { head.deref() };
             let next = head_ref.next.load(Ordering::Acquire, &guard);
             if next.is_null() {
@@ -281,6 +290,7 @@ impl<T> MsQueue<T> {
         // Acquire: the dummy is dereferenced; its `next` is only
         // null-checked.
         let head = self.head.load(Ordering::Acquire, &guard);
+        // SAFETY: head is never null (dummy node); guard-protected.
         unsafe { head.deref() }
             .next
             .load(Ordering::Relaxed, &guard)
@@ -301,6 +311,7 @@ impl<T> Drop for MsQueue<T> {
         // Relaxed: `&mut self` proves exclusive access at teardown.
         let mut cur = self.head.load(Ordering::Relaxed, &guard);
         while !cur.is_null() {
+            // SAFETY: exclusive access; each node is freed exactly once.
             let node = unsafe { Box::from_raw(cur.as_raw() as *mut QueueNode<T>) };
             cur = node.next.load(Ordering::Relaxed, &guard);
         }
