@@ -35,6 +35,8 @@ fn main() {
         "freed",
         "freed %",
         "epoch advances",
+        "bags stolen",
+        "peak KiB",
     ]);
 
     // (0) the paper's literal memory model: leak everything (fresh
@@ -52,6 +54,8 @@ fn main() {
             s.freed.to_string(),
             format!("{:.1}", 100.0 * s.freed as f64 / s.retired.max(1) as f64),
             s.epoch_advances.to_string(),
+            s.bags_stolen.to_string(),
+            format!("{:.1}", s.peak_deferred_bytes as f64 / 1024.0),
         ]);
         assert_eq!(s.freed, 0, "leaky mode must not free");
     }
@@ -71,6 +75,8 @@ fn main() {
             s.freed.to_string(),
             format!("{:.1}", 100.0 * s.freed as f64 / s.retired.max(1) as f64),
             s.epoch_advances.to_string(),
+            s.bags_stolen.to_string(),
+            format!("{:.1}", s.peak_deferred_bytes as f64 / 1024.0),
         ]);
         assert!(
             s.freed as f64 >= 0.95 * s.retired as f64,
@@ -94,6 +100,8 @@ fn main() {
             s.freed.to_string(),
             format!("{:.1}", 100.0 * s.freed as f64 / s.retired.max(1) as f64),
             s.epoch_advances.to_string(),
+            s.bags_stolen.to_string(),
+            format!("{:.1}", s.peak_deferred_bytes as f64 / 1024.0),
         ]);
         assert!(
             s.freed <= s.retired / 10,
@@ -116,6 +124,8 @@ fn main() {
                 100.0 * after.freed as f64 / after.retired.max(1) as f64
             ),
             after.epoch_advances.to_string(),
+            after.bags_stolen.to_string(),
+            format!("{:.1}", after.peak_deferred_bytes as f64 / 1024.0),
         ]);
     }
 

@@ -364,3 +364,159 @@ fn three_threads_insert_delete_helper() {
         );
     });
 }
+
+/// Scenario 7 — **bag steal vs concurrent pin** (the evictable-bag
+/// registry; DESIGN.md §10), run directly on the reclaim layer so the
+/// schedule space stays small. The writer pins, forces an epoch advance
+/// *while still pinned* (so its pin epoch trails the global epoch — the
+/// seal-epoch off-by-one window), unlinks the payload, retires it, and
+/// unpins — publishing its sealed bag to the registry — then flushes three
+/// times, each flush trying to steal and free the bag. The reader pins
+/// concurrently; if it observed the payload before the unlink, its pin
+/// epoch is at least the bag's seal epoch, and no steal may free the bag
+/// until it unpins: the canary deref after a yield stays valid in every
+/// interleaving, and the drop balance ends at zero. (Sealing bags with the
+/// writer's *pin* epoch instead of the fenced global epoch fails exactly
+/// here: the reader pins one epoch ahead, the bag seals one epoch behind,
+/// and a flush frees it mid-deref.)
+#[test]
+fn bag_steal_vs_concurrent_pin() {
+    use nbbst_reclaim::{Atomic, Collector, Shared};
+
+    const CANARY: u64 = 0x5EA1_BA65;
+    struct Payload {
+        canary: u64,
+        _token: Token,
+    }
+
+    loom::model(|| {
+        let live = Arc::new(AtomicIsize::new(0));
+        {
+            let collector = Arc::new(Collector::new());
+            let slot = Arc::new(Atomic::new(Payload {
+                canary: CANARY,
+                _token: Token::new(&live),
+            }));
+
+            let reader = {
+                let collector = Arc::clone(&collector);
+                let slot = Arc::clone(&slot);
+                loom::thread::spawn(move || {
+                    let guard = collector.pin();
+                    let s = slot.load(Ordering::Acquire, &guard);
+                    if !s.is_null() {
+                        // We pinned before observing the pointer, so the
+                        // epoch protocol must keep the payload alive until
+                        // this guard drops — across any number of steals.
+                        loom::thread::yield_now();
+                        // SAFETY: loaded under our own (still-held) pin.
+                        let p = unsafe { s.deref() };
+                        assert_eq!(
+                            p.canary, CANARY,
+                            "bag freed while its epoch was still protected"
+                        );
+                    }
+                })
+            };
+            let writer = {
+                let collector = Arc::clone(&collector);
+                let slot = Arc::clone(&slot);
+                loom::thread::spawn(move || {
+                    {
+                        let guard = collector.pin();
+                        // Advance the global epoch while pinned: our pin
+                        // epoch now trails it, so a bag sealed with the pin
+                        // epoch (the historical bug) would free one epoch
+                        // too early for a reader pinned at the new epoch.
+                        collector.flush();
+                        let cur = slot.load(Ordering::Acquire, &guard);
+                        slot.compare_exchange(
+                            cur,
+                            Shared::null(),
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                            &guard,
+                        )
+                        .expect("only this thread writes the slot");
+                        // SAFETY: the CAS above unlinked `cur`; sole retire.
+                        unsafe { guard.defer_destroy(cur) };
+                        // Unpin: seals the bag with the fenced global epoch
+                        // and publishes it to the evictable registry.
+                    }
+                    // Each flush may advance the epoch, steal the registry,
+                    // and free expired bags — legal only once the reader's
+                    // pin can no longer sit at the bag's seal epoch.
+                    collector.flush();
+                    collector.flush();
+                    collector.flush();
+                })
+            };
+            reader.join().unwrap();
+            writer.join().unwrap();
+            // Teardown: the slot is null (payload retired); the collector
+            // drop drains the registry through the same steal path.
+        }
+        assert_eq!(
+            live.load(Ordering::Relaxed),
+            0,
+            "value leak or double-free after teardown"
+        );
+    });
+}
+
+/// Scenario 8 — **concurrent steals free exactly once**: two threads race
+/// `flush` against a registry holding published bags while a third
+/// publishes more. The whole-chain `swap` hands each stealer a disjoint
+/// chain, so no bag can be freed twice and none can be lost: the drop
+/// balance ends at zero in every interleaving.
+#[test]
+fn concurrent_steals_free_exactly_once() {
+    use nbbst_reclaim::{Atomic, Collector};
+
+    loom::model(|| {
+        let live = Arc::new(AtomicIsize::new(0));
+        {
+            let collector = Arc::new(Collector::new());
+            // Publish one bag up front so both stealers have something to
+            // race for even if the publisher thread runs last.
+            {
+                let guard = collector.pin();
+                let a = Atomic::new(Token::new(&live));
+                let s = a.load(Ordering::Acquire, &guard);
+                // SAFETY: sole owner of the freshly made allocation.
+                unsafe { guard.defer_destroy(s) };
+            }
+
+            let publisher = {
+                let collector = Arc::clone(&collector);
+                let live = Arc::clone(&live);
+                loom::thread::spawn(move || {
+                    let guard = collector.pin();
+                    let a = Atomic::new(Token::new(&live));
+                    let s = a.load(Ordering::Acquire, &guard);
+                    // SAFETY: sole owner of the freshly made allocation.
+                    unsafe { guard.defer_destroy(s) };
+                })
+            };
+            let stealers: Vec<_> = (0..2)
+                .map(|_| {
+                    let collector = Arc::clone(&collector);
+                    loom::thread::spawn(move || {
+                        collector.flush();
+                        collector.flush();
+                    })
+                })
+                .collect();
+            publisher.join().unwrap();
+            for s in stealers {
+                s.join().unwrap();
+            }
+            // Collector teardown steals whatever survived the races.
+        }
+        assert_eq!(
+            live.load(Ordering::Relaxed),
+            0,
+            "a bag was lost or freed twice by racing stealers"
+        );
+    });
+}

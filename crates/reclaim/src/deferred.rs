@@ -15,6 +15,8 @@ use std::fmt;
 pub(crate) struct Deferred {
     data: *mut (),
     drop_fn: unsafe fn(*mut ()),
+    /// Heap payload size of the pending allocation, for footprint stats.
+    bytes: usize,
     executed: bool,
 }
 
@@ -39,8 +41,14 @@ impl Deferred {
         Deferred {
             data: ptr.cast(),
             drop_fn: drop_box::<T>,
+            bytes: std::mem::size_of::<T>(),
             executed: false,
         }
+    }
+
+    /// Payload bytes of the pending destruction (the pointee's size).
+    pub(crate) fn bytes(&self) -> usize {
+        self.bytes
     }
 
     /// Runs the deferred destruction now.

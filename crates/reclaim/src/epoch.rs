@@ -13,13 +13,26 @@
 //!   *participants* (one per `(thread, collector)` pair).
 //! * Before touching shared pointers a thread *pins* itself ([`Guard`]),
 //!   publishing the epoch it observed.
-//! * Removed objects are *retired* ([`Guard::defer_destroy`]) into a bag
-//!   sealed with the retiring thread's pinned epoch `e`.
+//! * Removed objects are *retired* ([`Guard::defer_destroy`]) into the
+//!   thread's open bag; at the outermost unpin (or when the bag fills) the
+//!   bag is *sealed* with the global epoch read behind a `SeqCst` fence and
+//!   *published* to the collector-wide evictable registry.
 //! * The global epoch advances from `E` to `E+1` only when every pinned
 //!   participant has observed `E`; hence pinned participants always sit at
-//!   `E` or `E-1`, and a bag sealed at epoch `e` is freed once the global
-//!   epoch reaches `e + 2` — by which point no thread that could have
+//!   `E` or `E-1`, and a bag sealed at epoch `g` is freed once the global
+//!   epoch reaches `g + 2` — by which point no thread that could have
 //!   observed a pointer into the bag is still pinned.
+//! * Because sealed bags live in a shared lock-free registry rather than in
+//!   thread-local caches, *any* thread — on housekeeping, [`Collector::flush`],
+//!   [`Collector::try_drain`], or the last [`Collector`] drop — can steal
+//!   and free bags whose epoch has passed. Reclamation never depends on the
+//!   retiring thread pinning again, so a thread-pool worker that parks
+//!   forever cannot strand its garbage (see DESIGN.md §10).
+//!
+//! The seal epoch is deliberately the *global* epoch at seal time, not the
+//! retirer's pin epoch: a thread pinned one epoch ahead of the retirer may
+//! have observed a pointer into the bag before it was unlinked, and sealing
+//! with the (older) pin epoch would free the bag one epoch too early.
 //!
 //! Why this discharges the paper's ABA obligations is argued in DESIGN.md
 //! §2: every read-then-CAS of a tree word happens under a single guard, and
@@ -27,21 +40,25 @@
 //! value) while a guard that observed it is live.
 
 use crate::deferred::Deferred;
-use crate::primitives::{fence, AtomicBool, AtomicPtr, AtomicU64, Mutex, Ordering};
+use crate::primitives::{fence, AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::cell::{Cell, RefCell};
-use std::collections::VecDeque;
 use std::fmt;
 // Instrumentation-only counters bypass the loom facade on purpose: they
 // never synchronize anything (see primitives.rs).
 use std::sync::atomic::{AtomicU64 as CounterU64, AtomicUsize as CounterUsize};
 use std::sync::Arc;
 
-/// How many pins between housekeeping passes (epoch-advance attempt plus
-/// local/orphan collection).
+/// How many pins between housekeeping passes (epoch-advance attempt plus a
+/// registry collection pass).
 const PINS_BETWEEN_COLLECT: u64 = 32;
 
 /// How many retirements force an early housekeeping pass.
 const DEFERS_BETWEEN_COLLECT: usize = 64;
+
+/// Open bags are sealed and published once they hold this many items, even
+/// mid-pin, so a long-pinned thread's footprint stays visible to the
+/// registry (and to [`ReclaimStats`]) in bounded-size chunks.
+const MAX_ITEMS_PER_BAG: usize = 64;
 
 /// One registered `(thread, collector)` slot in the global participant list.
 ///
@@ -68,10 +85,21 @@ impl Participant {
     }
 }
 
-/// A bag of retirements sealed with the epoch at which they were retired.
-struct Bag {
+/// A bag of retirements sealed with the global epoch observed (behind a
+/// `SeqCst` fence) when it was published, linked into the collector-wide
+/// evictable registry. Any thread may steal and free it once the global
+/// epoch reaches `epoch + 2`.
+struct SealedBag {
     epoch: u64,
     items: Vec<Deferred>,
+    /// Total payload bytes of `items`, for footprint accounting.
+    bytes: usize,
+    /// Identity of the publishing registration (its `LocalInner` address),
+    /// so stats can tell bags freed by their publisher from stolen ones.
+    /// Never dereferenced; the identity may be recycled after the
+    /// registration drops, which is acceptable for a statistic.
+    owner: usize,
+    next: AtomicPtr<SealedBag>,
 }
 
 /// Counters describing reclamation activity; see [`Collector::stats`].
@@ -85,16 +113,30 @@ pub struct ReclaimStats {
     pub epoch_advances: u64,
     /// Current global epoch.
     pub global_epoch: u64,
-    /// Objects currently waiting in orphaned (exited-thread) bags.
-    pub orphaned: u64,
+    /// Objects currently published to the evictable registry (sealed but
+    /// not yet freed).
+    pub evictable: u64,
+    /// Sealed bags published to the evictable registry so far.
+    pub bags_published: u64,
+    /// Bags freed by a thread other than the one that published them
+    /// (including ownerless paths such as `flush` and `Collector::drop`).
+    pub bags_stolen: u64,
+    /// Bags freed so far (by any thread).
+    pub bags_freed: u64,
+    /// Payload bytes currently awaiting reclamation (open bags plus the
+    /// evictable registry).
+    pub deferred_bytes: u64,
+    /// High-water mark of `deferred_bytes` over the collector's lifetime.
+    pub peak_deferred_bytes: u64,
 }
 
 /// Shared collector state.
 struct Global {
     epoch: AtomicU64,
     participants: AtomicPtr<Participant>,
-    /// Garbage abandoned by exiting threads, still awaiting its epoch.
-    orphans: Mutex<Vec<Bag>>,
+    /// The evictable-bag registry: a lock-free Treiber list of sealed bags
+    /// published by any thread and stealable by any thread.
+    evictable: AtomicPtr<SealedBag>,
     /// Number of live `Collector` clones (not handles); when it reaches
     /// zero, cached thread-local handles know to retire themselves.
     collectors: CounterUsize,
@@ -104,6 +146,14 @@ struct Global {
     retired: CounterU64,
     freed: CounterU64,
     advances: CounterU64,
+    bags_published: CounterU64,
+    bags_stolen: CounterU64,
+    bags_freed: CounterU64,
+    /// Items currently in the evictable registry.
+    evictable_items: CounterU64,
+    /// Payload bytes currently awaiting reclamation.
+    deferred_bytes: CounterU64,
+    peak_deferred_bytes: CounterU64,
 }
 
 impl Global {
@@ -111,12 +161,18 @@ impl Global {
         Global {
             epoch: AtomicU64::new(0),
             participants: AtomicPtr::new(std::ptr::null_mut()),
-            orphans: Mutex::new(Vec::new()),
+            evictable: AtomicPtr::new(std::ptr::null_mut()),
             collectors: CounterUsize::new(1),
             leaky,
             retired: CounterU64::new(0),
             freed: CounterU64::new(0),
             advances: CounterU64::new(0),
+            bags_published: CounterU64::new(0),
+            bags_stolen: CounterU64::new(0),
+            bags_freed: CounterU64::new(0),
+            evictable_items: CounterU64::new(0),
+            deferred_bytes: CounterU64::new(0),
+            peak_deferred_bytes: CounterU64::new(0),
         }
     }
 
@@ -196,24 +252,112 @@ impl Global {
         }
     }
 
-    /// Frees orphaned garbage whose epoch is at least two behind `epoch`.
-    /// Uses `try_lock` so the hot path never blocks on the orphan list.
-    fn collect_orphans(&self, epoch: u64) {
-        if let Ok(mut orphans) = self.orphans.try_lock() {
-            let mut freed = 0u64;
-            orphans.retain_mut(|bag| {
-                if bag.epoch + 2 <= epoch {
-                    freed += bag.items.len() as u64;
-                    for d in bag.items.drain(..) {
-                        d.execute();
-                    }
-                    false
-                } else {
-                    true
+    /// Publishes a sealed bag to the evictable registry (lock-free Treiber
+    /// push). After this returns, any thread may steal and free the bag
+    /// once its epoch has passed.
+    fn publish_bag(&self, bag: Box<SealedBag>) {
+        let items = bag.items.len() as u64;
+        let node = Box::into_raw(bag);
+        // The observed head is only re-linked as the new bag's `next`; the
+        // publisher never dereferences it (a stealer may already own it).
+        let mut head = self.evictable.load(Ordering::Relaxed);
+        loop {
+            // SAFETY: `node` is ours until the CAS below publishes it.
+            unsafe { (*node).next.store(head, Ordering::Relaxed) };
+            match self
+                .evictable
+                .compare_exchange(head, node, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => break,
+                Err(h) => head = h,
+            }
+        }
+        self.bags_published.fetch_add(1, Ordering::Relaxed);
+        self.evictable_items.fetch_add(items, Ordering::Relaxed);
+    }
+
+    /// Steals the entire evictable registry, frees every bag whose epoch is
+    /// at least two behind `epoch`, and re-publishes the survivors.
+    ///
+    /// Lock-free: the whole-chain `swap` hands each caller a disjoint
+    /// chain, so concurrent stealers never contend on individual bags.
+    /// Stealing is also the only safe way to *inspect* a bag — peeking at
+    /// the head's epoch without taking ownership would race a concurrent
+    /// stealer freeing it.
+    ///
+    /// `caller` identifies the stealing registration (`0` for ownerless
+    /// paths such as `flush`, `try_drain`, and `Collector::drop`); bags
+    /// freed on behalf of a different owner count as "stolen" in
+    /// [`ReclaimStats`].
+    fn collect_evictable(&self, epoch: u64, caller: usize) {
+        // Acquire pairs with the publishers' Release CASes so the stolen
+        // bags' contents (items, seal epochs, links) are visible; Release
+        // orders this takeover before the survivor re-publication below, so
+        // a bag is never reachable from two stealers. See DESIGN.md §10.
+        let mut cur = self.evictable.swap(std::ptr::null_mut(), Ordering::AcqRel);
+        if cur.is_null() {
+            return;
+        }
+        let mut survivors: *mut SealedBag = std::ptr::null_mut();
+        let mut survivors_tail: *mut SealedBag = std::ptr::null_mut();
+        let mut freed_items = 0u64;
+        let mut freed_bytes = 0u64;
+        let mut freed_bags = 0u64;
+        let mut stolen_bags = 0u64;
+        while !cur.is_null() {
+            // SAFETY: the swap above transferred exclusive ownership of the
+            // whole chain to us; every node came from `Box::into_raw`.
+            let bag = unsafe { Box::from_raw(cur) };
+            // The chain is privately owned after the steal.
+            cur = bag.next.load(Ordering::Relaxed);
+            if bag.epoch + 2 <= epoch {
+                freed_items += bag.items.len() as u64;
+                freed_bytes += bag.bytes as u64;
+                freed_bags += 1;
+                if bag.owner != caller {
+                    stolen_bags += 1;
                 }
-            });
-            if freed > 0 {
-                self.freed.fetch_add(freed, Ordering::Relaxed);
+                for d in bag.items {
+                    d.execute();
+                }
+            } else {
+                let node = Box::into_raw(bag);
+                // SAFETY: `node` is privately owned until re-published.
+                unsafe { (*node).next.store(survivors, Ordering::Relaxed) };
+                if survivors.is_null() {
+                    survivors_tail = node;
+                }
+                survivors = node;
+            }
+        }
+        if !survivors.is_null() {
+            // Re-publish the survivor chain in one push: link the chain's
+            // tail to the observed head, then CAS the head to the chain.
+            let mut head = self.evictable.load(Ordering::Relaxed);
+            loop {
+                // SAFETY: the chain is still privately owned; the observed
+                // head is only linked, never dereferenced.
+                unsafe { (*survivors_tail).next.store(head, Ordering::Relaxed) };
+                match self.evictable.compare_exchange(
+                    head,
+                    survivors,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => break,
+                    Err(h) => head = h,
+                }
+            }
+        }
+        if freed_items > 0 {
+            self.freed.fetch_add(freed_items, Ordering::Relaxed);
+            self.evictable_items
+                .fetch_sub(freed_items, Ordering::Relaxed);
+            self.deferred_bytes
+                .fetch_sub(freed_bytes, Ordering::Relaxed);
+            self.bags_freed.fetch_add(freed_bags, Ordering::Relaxed);
+            if stolen_bags > 0 {
+                self.bags_stolen.fetch_add(stolen_bags, Ordering::Relaxed);
             }
         }
     }
@@ -222,7 +366,7 @@ impl Global {
 impl Drop for Global {
     fn drop(&mut self) {
         // No handles (hence no threads) reference this global any more:
-        // free all participant records and any remaining orphaned garbage.
+        // free all participant records and drain the evictable registry.
         let mut cur = *self.participants.get_mut();
         while !cur.is_null() {
             // SAFETY: `&mut self` — no thread holds a handle; every record
@@ -230,9 +374,13 @@ impl Drop for Global {
             let boxed = unsafe { Box::from_raw(cur) };
             cur = boxed.next.load(Ordering::Relaxed);
         }
-        // Orphan `Deferred`s run their destructor on drop.
-        if let Ok(orphans) = self.orphans.get_mut() {
-            orphans.clear();
+        let mut bag = *self.evictable.get_mut();
+        while !bag.is_null() {
+            // SAFETY: `&mut self` gives exclusive ownership of the chain;
+            // each bag came from `Box::into_raw` and is freed exactly once.
+            // Its remaining `Deferred`s run their destructors on drop.
+            let boxed = unsafe { Box::from_raw(bag) };
+            bag = boxed.next.load(Ordering::Relaxed);
         }
     }
 }
@@ -308,8 +456,8 @@ impl Collector {
             handle_count: Cell::new(1),
             pin_count: Cell::new(0),
             defer_count: Cell::new(0),
-            local_epoch: Cell::new(0),
-            bags: RefCell::new(VecDeque::new()),
+            bag: RefCell::new(Vec::new()),
+            bag_bytes: Cell::new(0),
         }));
         LocalHandle { inner }
     }
@@ -324,7 +472,9 @@ impl Collector {
         CACHED_HANDLES.with(|cache| {
             let mut cache = cache.borrow_mut();
             // Purge handles whose collector is gone (all `Collector` clones
-            // dropped); their garbage migrates to the orphan list.
+            // dropped) so their registrations and `Arc<Global>`s release;
+            // any garbage they retired was already published to the
+            // evictable registry at unpin.
             cache.retain(|h| {
                 // SAFETY: a cached handle holds a `handle_count` reference,
                 // so its `inner` is live.
@@ -355,30 +505,32 @@ impl Collector {
     /// fresh every execution, and running TLS destructors outside the
     /// model scheduler would be unsound. Dropping the handle immediately
     /// is fine — the guard keeps the registration alive via refcount, and
-    /// the participant's garbage migrates to the orphan list on unpin,
-    /// which also puts the orphan path itself under the model.
+    /// the open bag is sealed and published to the evictable registry at
+    /// unpin, which also puts the publish/steal path itself under the
+    /// model.
     #[cfg(loom)]
     pub fn pin(&self) -> Guard {
         let handle = self.register();
         handle.pin()
     }
 
-    /// Forces an epoch-advance attempt plus an orphan collection pass.
+    /// Forces an epoch-advance attempt plus a registry collection pass.
     ///
     /// Useful in tests and teardown paths; never required for correctness.
     pub fn flush(&self) {
         let e = self.global.try_advance();
-        self.global.collect_orphans(e);
+        self.global.collect_evictable(e, 0);
     }
 
     /// Repeatedly flushes until everything retired so far has been freed,
     /// or `attempts` passes elapse. Returns whether it fully drained.
     ///
-    /// Note that garbage abandoned by an *exiting* thread becomes
-    /// collectable only once that thread's TLS destructors have run, which
-    /// may be slightly after the thread becomes joinable — this helper
-    /// yields between passes to absorb exactly that window. Tests and
-    /// teardown paths use it; correctness never requires it.
+    /// Because every outermost unpin publishes the thread's garbage to the
+    /// shared evictable registry, draining does not require any other
+    /// thread to cooperate — it only requires that no thread holds an old
+    /// epoch pinned. This helper yields between passes to absorb exactly
+    /// that window. Tests and teardown paths use it; correctness never
+    /// requires it.
     pub fn try_drain(&self, attempts: usize) -> bool {
         for _ in 0..attempts {
             let s = self.stats();
@@ -395,18 +547,17 @@ impl Collector {
 
     /// Current reclamation counters.
     pub fn stats(&self) -> ReclaimStats {
-        let orphaned = self
-            .global
-            .orphans
-            .try_lock()
-            .map(|o| o.iter().map(|b| b.items.len() as u64).sum())
-            .unwrap_or(0);
         ReclaimStats {
             retired: self.global.retired.load(Ordering::Relaxed),
             freed: self.global.freed.load(Ordering::Relaxed),
             epoch_advances: self.global.advances.load(Ordering::Relaxed),
             global_epoch: self.global.epoch.load(Ordering::Relaxed),
-            orphaned,
+            evictable: self.global.evictable_items.load(Ordering::Relaxed),
+            bags_published: self.global.bags_published.load(Ordering::Relaxed),
+            bags_stolen: self.global.bags_stolen.load(Ordering::Relaxed),
+            bags_freed: self.global.bags_freed.load(Ordering::Relaxed),
+            deferred_bytes: self.global.deferred_bytes.load(Ordering::Relaxed),
+            peak_deferred_bytes: self.global.peak_deferred_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -423,18 +574,20 @@ impl Clone for Collector {
 impl Drop for Collector {
     fn drop(&mut self) {
         if self.global.collectors.fetch_sub(1, Ordering::Relaxed) == 1 {
-            // Last `Collector` clone. Evict the calling thread's cached
-            // handle now so its deferred garbage migrates to the orphan
-            // list and is freed when the final `Arc<Global>` drops —
-            // otherwise everything this thread retired would sit in its
-            // thread-local bag (keeping the `Global` alive too) until the
-            // thread exits or happens to pin some other collector.
-            //
-            // Other threads' cached handles are untouched (their TLS is
-            // not ours to drain); they purge on their next `pin` of any
-            // collector, or at thread exit.
-            #[cfg(not(loom))]
-            evict_cached_handle(&self.global);
+            // Last `Collector` clone: run the final teardown through the
+            // evictable registry. Every thread publishes its sealed bags at
+            // unpin, so garbage retired by *any* registered thread —
+            // including workers parked forever — is in the registry and
+            // freed here as soon as its epoch passes. Two advances put the
+            // global epoch two past every seal epoch when nothing is
+            // pinned; a third pass collects what the second advance
+            // unlocked. Anything still protected by a live pin is freed
+            // later by that thread's own housekeeping, or with the final
+            // registration in `Global::drop`.
+            for _ in 0..3 {
+                let e = self.global.try_advance();
+                self.global.collect_evictable(e, 0);
+            }
         }
     }
 }
@@ -458,22 +611,6 @@ thread_local! {
     static CACHED_HANDLES: RefCell<Vec<LocalHandle>> = const { RefCell::new(Vec::new()) };
 }
 
-/// Drops the calling thread's cached handle for `global`, if any, sending
-/// its garbage bags to the orphan list (see [`LocalInner::finalize`]).
-/// Safe to call during thread teardown: if the TLS cache is already gone,
-/// its own destructor has done the same work.
-#[cfg(not(loom))]
-fn evict_cached_handle(global: &Arc<Global>) {
-    let _ = CACHED_HANDLES.try_with(|cache| {
-        // A live guard keeps the registration alive past the eviction via
-        // the `LocalInner` refcounts, so this is safe even mid-pin.
-        // SAFETY: cached handles hold a `handle_count` reference to `inner`.
-        cache
-            .borrow_mut()
-            .retain(|h| !Arc::ptr_eq(&unsafe { &*h.inner }.global, global));
-    });
-}
-
 /// Thread-local state for one `(thread, collector)` registration.
 ///
 /// Shared between the owning [`LocalHandle`] and any outstanding [`Guard`]s
@@ -485,9 +622,13 @@ struct LocalInner {
     handle_count: Cell<usize>,
     pin_count: Cell<u64>,
     defer_count: Cell<usize>,
-    /// Epoch this thread observed at its current pin (valid while pinned).
-    local_epoch: Cell<u64>,
-    bags: RefCell<VecDeque<Bag>>,
+    /// The open bag: retirements deferred under the current pin, not yet
+    /// sealed. Only non-empty while pinned — sealed and published to the
+    /// evictable registry at the outermost unpin (or mid-pin once it
+    /// reaches [`MAX_ITEMS_PER_BAG`]).
+    bag: RefCell<Vec<Deferred>>,
+    /// Payload bytes in the open bag.
+    bag_bytes: Cell<usize>,
 }
 
 impl LocalInner {
@@ -508,24 +649,11 @@ impl LocalInner {
             // Publish the pin before any subsequent shared-memory access;
             // pairs with the SeqCst fence in `Global::try_advance`.
             fence(Ordering::SeqCst);
-            self.local_epoch.set(epoch);
 
             let pins = self.pin_count.get() + 1;
             self.pin_count.set(pins);
             if pins.is_multiple_of(PINS_BETWEEN_COLLECT) {
                 self.housekeep();
-            } else {
-                // Cheap opportunistic collection: if the oldest local bag is
-                // already two epochs stale, free it without a full
-                // housekeeping pass (no participant scan needed).
-                let front_is_stale = self
-                    .bags
-                    .borrow()
-                    .front()
-                    .is_some_and(|b| b.epoch + 2 <= epoch);
-                if front_is_stale {
-                    self.collect(epoch);
-                }
             }
         }
     }
@@ -535,6 +663,11 @@ impl LocalInner {
         debug_assert!(count > 0, "unpin without matching pin");
         self.guard_count.set(count - 1);
         if count == 1 {
+            // Publish the open bag *before* announcing the unpin: sealing
+            // reads the global epoch while this thread is still pinned, so
+            // the seal epoch is exactly the tightest one the safety
+            // argument allows, and a parked thread leaves nothing behind.
+            self.seal_and_publish();
             self.record()
                 .state
                 .store(Participant::UNPINNED, Ordering::Release);
@@ -550,17 +683,25 @@ impl LocalInner {
             self.global.retired.fetch_add(1, Ordering::Relaxed);
             return;
         }
-        let epoch = self.local_epoch.get();
-        let mut bags = self.bags.borrow_mut();
-        match bags.back_mut() {
-            Some(bag) if bag.epoch == epoch => bag.items.push(d),
-            _ => bags.push_back(Bag {
-                epoch,
-                items: vec![d],
-            }),
-        }
-        drop(bags);
+        let bytes = d.bytes();
+        let full = {
+            let mut bag = self.bag.borrow_mut();
+            bag.push(d);
+            bag.len() >= MAX_ITEMS_PER_BAG
+        };
+        self.bag_bytes.set(self.bag_bytes.get() + bytes);
         self.global.retired.fetch_add(1, Ordering::Relaxed);
+        let now = self
+            .global
+            .deferred_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed)
+            + bytes as u64;
+        self.global
+            .peak_deferred_bytes
+            .fetch_max(now, Ordering::Relaxed);
+        if full {
+            self.seal_and_publish();
+        }
         let defers = self.defer_count.get() + 1;
         self.defer_count.set(defers);
         if defers.is_multiple_of(DEFERS_BETWEEN_COLLECT) {
@@ -568,48 +709,58 @@ impl LocalInner {
         }
     }
 
-    /// Advance the epoch if possible and free every local/orphan bag that is
-    /// at least two epochs old.
+    /// Seals the open bag with the current global epoch and publishes it to
+    /// the evictable registry. No-op when the bag is empty.
+    ///
+    /// The seal epoch is read *behind a `SeqCst` fence* and is deliberately
+    /// NOT this thread's pin epoch: we may be pinned at `e` while the
+    /// global epoch is already `e + 1`, and a thread pinned at `e + 1` may
+    /// have observed a pointer into this bag before it was unlinked.
+    /// Sealing with the fenced global read `g` guarantees every such
+    /// observer is pinned at an epoch `<= g` and therefore blocks the
+    /// advance to `g + 2` that frees the bag (see DESIGN.md §10; this fixes
+    /// an epoch off-by-one in the earlier thread-local-cache scheme, which
+    /// sealed with the pin epoch).
+    fn seal_and_publish(&self) {
+        let mut bag = self.bag.borrow_mut();
+        if bag.is_empty() {
+            return;
+        }
+        let items = std::mem::take(&mut *bag);
+        drop(bag);
+        let bytes = self.bag_bytes.replace(0);
+        // Store-load: the unlink CASes that preceded every defer in this
+        // bag must be globally ordered before the epoch read that seals it;
+        // pairs with the SeqCst fence in `Global::try_advance`.
+        fence(Ordering::SeqCst);
+        // Ordered by the fence above, not by the load itself.
+        let epoch = self.global.epoch.load(Ordering::Relaxed);
+        self.global.publish_bag(Box::new(SealedBag {
+            epoch,
+            items,
+            bytes,
+            owner: self as *const LocalInner as usize,
+            next: AtomicPtr::new(std::ptr::null_mut()),
+        }));
+    }
+
+    /// Advance the epoch if possible and steal-and-free expired bags from
+    /// the evictable registry.
     fn housekeep(&self) {
         let epoch = self.global.try_advance();
-        self.collect(epoch);
-        self.global.collect_orphans(epoch);
+        self.global
+            .collect_evictable(epoch, self as *const LocalInner as usize);
     }
 
-    fn collect(&self, epoch: u64) {
-        let mut bags = self.bags.borrow_mut();
-        let mut freed = 0u64;
-        while let Some(front) = bags.front() {
-            if front.epoch + 2 <= epoch {
-                let bag = bags.pop_front().expect("front exists");
-                freed += bag.items.len() as u64;
-                for d in bag.items {
-                    d.execute();
-                }
-            } else {
-                break;
-            }
-        }
-        if freed > 0 {
-            self.global.freed.fetch_add(freed, Ordering::Relaxed);
-        }
-    }
-
-    /// Called when the last handle/guard reference drops: abandon remaining
-    /// garbage to the orphan list and release the participant record.
+    /// Called when the last handle/guard reference drops: publish any
+    /// remaining garbage and release the participant record.
     fn finalize(&self) {
         debug_assert_eq!(self.guard_count.get(), 0);
         debug_assert_eq!(self.handle_count.get(), 0);
-        let mut bags = self.bags.borrow_mut();
-        if !bags.is_empty() {
-            let mut orphans = self
-                .global
-                .orphans
-                .lock()
-                .unwrap_or_else(|e| e.into_inner());
-            orphans.extend(bags.drain(..));
-        }
-        drop(bags);
+        // The open bag is normally empty here (every outermost unpin
+        // publishes), but publish defensively so an exiting thread can
+        // never strand garbage on the registration.
+        self.seal_and_publish();
         let record = self.record();
         record.state.store(Participant::UNPINNED, Ordering::Release);
         record.claimed.store(false, Ordering::Release);
@@ -809,6 +960,8 @@ mod tests {
         let stats = collector.stats();
         assert_eq!(stats.retired, 1_000);
         assert!(stats.epoch_advances > 0);
+        assert!(stats.bags_published >= stats.bags_freed);
+        assert!(stats.bags_freed > 0);
     }
 
     #[test]
@@ -852,6 +1005,46 @@ mod tests {
             drop(collector.pin());
         }
         assert_eq!(drops.load(Ordering::SeqCst), 100);
+        let stats = collector.stats();
+        assert_eq!(stats.evictable, 0);
+        assert_eq!(stats.deferred_bytes, 0);
+        assert!(stats.peak_deferred_bytes > 0);
+    }
+
+    /// Regression test for the seal-epoch off-by-one: a bag must be sealed
+    /// with the *global* epoch at publish time, not the retirer's pin
+    /// epoch. Retirer R pins at epoch 0; the epoch advances to 1; thread T
+    /// pins at 1 (and may have observed pointers R is about to unlink).
+    /// R's bag must not free while T is still pinned — sealing with R's pin
+    /// epoch (0) would free it at global epoch 2, which T's pin permits.
+    #[test]
+    fn bag_is_not_freed_while_later_pinner_is_live() {
+        let collector = Collector::new();
+        let drops = Arc::new(AtomicUsize::new(0));
+        let retirer = collector.register();
+        let later = collector.register();
+
+        let rg = retirer.pin(); // pinned at epoch 0
+        collector.flush(); // advances the global epoch to 1
+        let _tg = later.pin(); // pinned at epoch 1
+        let a = crate::Atomic::new(CountDrop(drops.clone()));
+        let s = a.load(Ordering::SeqCst, &rg);
+        unsafe { rg.defer_destroy(s) };
+        drop(rg); // seals at the global epoch (1), publishes
+
+        // `later` (pinned at 1) caps the global epoch at 2; a bag sealed at
+        // 1 frees only at 3, so no number of flushes may free it.
+        for _ in 0..16 {
+            collector.flush();
+        }
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            0,
+            "bag freed while a participant pinned at the seal epoch was live"
+        );
+        drop(_tg);
+        assert!(collector.try_drain(64));
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
     }
 
     #[test]
@@ -870,7 +1063,7 @@ mod tests {
     }
 
     #[test]
-    fn exiting_thread_orphans_garbage_which_is_later_freed() {
+    fn exiting_thread_publishes_garbage_which_is_later_freed() {
         let collector = Collector::new();
         let drops = Arc::new(AtomicUsize::new(0));
         let c2 = collector.clone();
@@ -879,7 +1072,7 @@ mod tests {
             for _ in 0..50 {
                 retire_one(&c2, &d2);
             }
-            // Thread exits; its cached handle drops, orphaning the bags.
+            // Thread exits; its garbage was already published at unpin.
         })
         .join()
         .unwrap();
@@ -887,6 +1080,42 @@ mod tests {
             collector.flush();
         }
         assert_eq!(drops.load(Ordering::SeqCst), 50);
+        assert!(collector.stats().bags_stolen > 0);
+    }
+
+    /// A worker that parks forever (never pins again, never exits) must not
+    /// strand its garbage: an unrelated thread steals and frees it.
+    #[test]
+    fn parked_thread_garbage_is_stolen_by_another_thread() {
+        let collector = Collector::new();
+        let drops = Arc::new(AtomicUsize::new(0));
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let (park_tx, park_rx) = std::sync::mpsc::channel::<()>();
+        let c2 = collector.clone();
+        let d2 = drops.clone();
+        let worker = std::thread::spawn(move || {
+            for _ in 0..50 {
+                retire_one(&c2, &d2);
+            }
+            done_tx.send(()).unwrap();
+            // Park forever (until teardown): the worker still holds its
+            // collector clone and TLS registration, so nothing on this
+            // thread will ever pin, flush, or exit on its own.
+            let _ = park_rx.recv();
+            drop(c2);
+        });
+        done_rx.recv().unwrap();
+        assert!(
+            collector.try_drain(10_000),
+            "parked thread's garbage was not drained: {:?}",
+            collector.stats()
+        );
+        let stats = collector.stats();
+        assert_eq!(drops.load(Ordering::SeqCst), 50);
+        assert_eq!(stats.deferred_bytes, 0);
+        assert!(stats.bags_stolen > 0, "{stats:?}");
+        park_tx.send(()).unwrap();
+        worker.join().unwrap();
     }
 
     #[test]
@@ -901,13 +1130,35 @@ mod tests {
             unsafe { guard.defer_destroy(s) };
             drop(guard);
             drop(handle);
-            // collector (and cached TLS handles, if any) drop here...
         }
-        // ...but TLS-cached handles on this thread may still hold the
-        // global. Touch a new collector to trigger the purge.
-        let other = Collector::new();
-        drop(other.pin());
+        // The last `Collector` drop collects through the registry; no
+        // thread-local eviction or later pin is needed.
         assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    /// The last `Collector` drop must evict bags published by *other*
+    /// threads — here a worker that retired garbage and then parked.
+    #[test]
+    fn last_collector_drop_frees_other_threads_garbage() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let collector = Collector::new();
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let (park_tx, park_rx) = std::sync::mpsc::channel::<()>();
+        let d2 = drops.clone();
+        let c2 = collector.clone();
+        let worker = std::thread::spawn(move || {
+            for _ in 0..50 {
+                retire_one(&c2, &d2);
+            }
+            drop(c2);
+            done_tx.send(()).unwrap();
+            let _ = park_rx.recv();
+        });
+        done_rx.recv().unwrap();
+        drop(collector); // last clone: drains the whole registry
+        assert_eq!(drops.load(Ordering::SeqCst), 50);
+        park_tx.send(()).unwrap();
+        worker.join().unwrap();
     }
 
     #[test]

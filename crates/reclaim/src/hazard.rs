@@ -33,7 +33,7 @@
 //! ```
 
 use crate::deferred::Deferred;
-use crate::primitives::{fence, AtomicBool, AtomicPtr, AtomicUsize, Mutex, Ordering};
+use crate::primitives::{fence, AtomicBool, AtomicPtr, AtomicUsize, Ordering};
 use std::collections::HashSet;
 use std::fmt;
 
@@ -49,18 +49,25 @@ struct Slot {
 struct Retired {
     addr: usize,
     deferred: Deferred,
+    next: AtomicPtr<Retired>,
 }
 
 /// A hazard-pointer domain: a registry of hazard slots plus the retired
 /// list they guard.
 ///
-/// Readers are lock-free (slot acquisition is a CAS loop, protection is a
-/// publish-validate loop); the retire path takes a mutex, which is
-/// acceptable for this workspace where hazard pointers serve as an
-/// alternative substrate for ablation, not the tree's hot path.
+/// Fully lock-free: slot acquisition is a CAS loop, protection is a
+/// publish-validate loop, and the retired list uses the same publish/steal
+/// handoff as the epoch collector's evictable registry (DESIGN.md §10) —
+/// retirers push nodes with a Treiber CAS, and a scan steals the whole
+/// chain with a `swap`, frees the unprotected nodes, and re-publishes the
+/// survivors. Any thread's scan reclaims every thread's retirements, so a
+/// retirer that never scans again cannot strand garbage.
 pub struct Domain {
     slots: AtomicPtr<Slot>,
-    retired: Mutex<Vec<Retired>>,
+    /// Lock-free retired list (publish/steal; see struct docs).
+    retired: AtomicPtr<Retired>,
+    /// Approximate count of nodes currently in `retired`; triggers scans.
+    pending: AtomicUsize,
     retired_count: AtomicUsize,
     freed_count: AtomicUsize,
 }
@@ -70,7 +77,8 @@ impl Domain {
     pub fn new() -> Domain {
         Domain {
             slots: AtomicPtr::new(std::ptr::null_mut()),
-            retired: Mutex::new(Vec::new()),
+            retired: AtomicPtr::new(std::ptr::null_mut()),
+            pending: AtomicUsize::new(0),
             retired_count: AtomicUsize::new(0),
             freed_count: AtomicUsize::new(0),
         }
@@ -129,17 +137,31 @@ impl Domain {
     /// * Must be called at most once per allocation.
     pub unsafe fn retire<T>(&self, ptr: *mut T) {
         assert!(!ptr.is_null(), "retire(null)");
-        let item = Retired {
+        let node = Box::into_raw(Box::new(Retired {
             addr: ptr as usize,
             deferred: Deferred::destroy_boxed(ptr),
-        };
-        let len = {
-            let mut retired = self.retired.lock().unwrap_or_else(|e| e.into_inner());
-            retired.push(item);
-            retired.len()
-        };
+            next: AtomicPtr::new(std::ptr::null_mut()),
+        }));
+        // Count before publishing: a concurrent scan may steal and free the
+        // node the instant the CAS lands, and its `fetch_sub` must never
+        // observe the counter without this increment.
+        let pending = self.pending.fetch_add(1, Ordering::Relaxed) + 1;
         self.retired_count.fetch_add(1, Ordering::Relaxed);
-        if len >= SCAN_THRESHOLD {
+        // Treiber push. The observed head is only re-linked as our `next`,
+        // never dereferenced (a scanning thread may already own it).
+        let mut head = self.retired.load(Ordering::Relaxed);
+        loop {
+            // SAFETY: `node` is ours until the CAS below publishes it.
+            unsafe { (*node).next.store(head, Ordering::Relaxed) };
+            match self
+                .retired
+                .compare_exchange(head, node, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => break,
+                Err(h) => head = h,
+            }
+        }
+        if pending >= SCAN_THRESHOLD {
             self.scan();
         }
     }
@@ -173,23 +195,56 @@ impl Domain {
             }
             cur = s.next.load(Ordering::Acquire);
         }
-        let mut to_free = Vec::new();
-        {
-            let mut retired = self.retired.lock().unwrap_or_else(|e| e.into_inner());
-            let mut i = 0;
-            while i < retired.len() {
-                if hazards.contains(&retired[i].addr) {
-                    i += 1;
-                } else {
-                    to_free.push(retired.swap_remove(i));
+        // Steal the whole retired list: concurrent scans each own a
+        // disjoint chain, so no node is inspected (let alone freed) twice.
+        // Acquire pairs with the retirers' Release pushes so the stolen
+        // nodes' contents are visible; Release orders this takeover before
+        // the survivor re-publication below. Same publish/steal handoff as
+        // the epoch registry (DESIGN.md §10).
+        let mut cur = self.retired.swap(std::ptr::null_mut(), Ordering::AcqRel);
+        let mut kept: *mut Retired = std::ptr::null_mut();
+        let mut kept_tail: *mut Retired = std::ptr::null_mut();
+        let mut freed = 0usize;
+        while !cur.is_null() {
+            // SAFETY: the swap above transferred exclusive ownership of the
+            // whole chain; every node came from `Box::into_raw`.
+            let node = unsafe { Box::from_raw(cur) };
+            // Privately owned after the steal.
+            cur = node.next.load(Ordering::Relaxed);
+            if hazards.contains(&node.addr) {
+                let raw = Box::into_raw(node);
+                // SAFETY: `raw` is privately owned until re-published.
+                unsafe { (*raw).next.store(kept, Ordering::Relaxed) };
+                if kept.is_null() {
+                    kept_tail = raw;
+                }
+                kept = raw;
+            } else {
+                freed += 1;
+                let Retired { deferred, .. } = *node;
+                deferred.execute();
+            }
+        }
+        if !kept.is_null() {
+            // Re-publish the protected survivors in one chain push.
+            let mut head = self.retired.load(Ordering::Relaxed);
+            loop {
+                // SAFETY: the chain is still privately owned; the observed
+                // head is only linked, never dereferenced.
+                unsafe { (*kept_tail).next.store(head, Ordering::Relaxed) };
+                match self
+                    .retired
+                    .compare_exchange(head, kept, Ordering::AcqRel, Ordering::Acquire)
+                {
+                    Ok(_) => break,
+                    Err(h) => head = h,
                 }
             }
         }
-        let freed = to_free.len();
-        for r in to_free {
-            r.deferred.execute();
+        if freed > 0 {
+            self.pending.fetch_sub(freed, Ordering::Relaxed);
+            self.freed_count.fetch_add(freed, Ordering::Relaxed);
         }
-        self.freed_count.fetch_add(freed, Ordering::Relaxed);
         freed
     }
 
@@ -220,8 +275,13 @@ impl Drop for Domain {
             let boxed = unsafe { Box::from_raw(cur) };
             cur = boxed.next.load(Ordering::Relaxed);
         }
-        if let Ok(retired) = self.retired.get_mut() {
-            retired.clear();
+        let mut node = *self.retired.get_mut();
+        while !node.is_null() {
+            // SAFETY: `&mut self` gives exclusive ownership of the chain;
+            // each node came from `Box::into_raw` and is freed exactly once
+            // here. Its `Deferred` runs its destructor on drop.
+            let boxed = unsafe { Box::from_raw(node) };
+            node = boxed.next.load(Ordering::Relaxed);
         }
     }
 }

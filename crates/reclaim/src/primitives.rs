@@ -1,6 +1,6 @@
 //! The cfg-gated concurrency-primitive facade.
 //!
-//! Every protocol-relevant atomic, fence, mutex, and thread-yield in this
+//! Every protocol-relevant atomic, fence, and thread-yield in this
 //! crate goes through these re-exports instead of naming `std::sync`
 //! directly. A normal build is a zero-cost passthrough to `std`; building
 //! with `RUSTFLAGS="--cfg loom"` swaps in the `loom` model checker's
@@ -19,17 +19,16 @@
 //!   schedule space focused on protocol steps. Anything that *is*
 //!   synchronization must use this module.
 
+// (Since the evictable-bag registry replaced the orphan mutex, the crate is
+// fully lock-free and no `Mutex` re-export is needed.)
+
 #[cfg(not(loom))]
 pub(crate) use std::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU64, AtomicUsize};
-#[cfg(not(loom))]
-pub(crate) use std::sync::Mutex;
 #[cfg(not(loom))]
 pub(crate) use std::thread::yield_now;
 
 #[cfg(loom)]
 pub(crate) use loom::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU64, AtomicUsize};
-#[cfg(loom)]
-pub(crate) use loom::sync::Mutex;
 #[cfg(loom)]
 pub(crate) use loom::thread::yield_now;
 

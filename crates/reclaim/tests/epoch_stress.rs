@@ -141,6 +141,74 @@ fn readers_never_observe_freed_memory() {
     unsafe { drop(slot.into_owned()) };
 }
 
+/// Writers that retire garbage and then park forever must not strand it:
+/// their bags are published to the evictable registry at unpin, and the
+/// main thread — which never retired anything — steals and frees them.
+/// Byte accounting is exact here (every retirement is one `CountDrop`), so
+/// this also pins down the footprint counters: deferred bytes drain to
+/// zero and the peak never exceeds the total ever retired.
+#[test]
+fn parked_writers_garbage_is_stolen_and_bytes_drain_to_zero() {
+    const WRITERS: usize = 4;
+    const PER_WRITER: usize = 2_000;
+    let collector = Collector::new();
+    let drops = Arc::new(AtomicUsize::new(0));
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    let mut parks = Vec::new();
+    let mut joins = Vec::new();
+    for _ in 0..WRITERS {
+        let collector = collector.clone();
+        let drops = drops.clone();
+        let done = done_tx.clone();
+        let (park_tx, park_rx) = std::sync::mpsc::channel::<()>();
+        parks.push(park_tx);
+        joins.push(std::thread::spawn(move || {
+            for _ in 0..PER_WRITER {
+                let guard = collector.pin();
+                let a: Atomic<CountDrop> = Atomic::new(CountDrop(drops.clone()));
+                let s = a.load(ORD, &guard);
+                // SAFETY: sole owner of the freshly made allocation.
+                unsafe { guard.defer_destroy(s) };
+            }
+            done.send(()).unwrap();
+            // Park forever (until teardown): never pin, flush, or exit.
+            let _ = park_rx.recv();
+        }));
+    }
+    for _ in 0..WRITERS {
+        done_rx.recv().unwrap();
+    }
+
+    assert!(
+        collector.try_drain(10_000),
+        "parked writers' garbage not drained: {:?}",
+        collector.stats()
+    );
+    let stats = collector.stats();
+    let total = (WRITERS * PER_WRITER) as u64;
+    let item_bytes = std::mem::size_of::<CountDrop>() as u64;
+    assert_eq!(drops.load(Ordering::SeqCst) as u64, total);
+    assert_eq!(stats.retired, total);
+    assert_eq!(stats.freed, total);
+    assert_eq!(stats.deferred_bytes, 0);
+    assert_eq!(stats.evictable, 0);
+    assert!(stats.bags_stolen > 0, "{stats:?}");
+    assert!(stats.peak_deferred_bytes >= item_bytes, "{stats:?}");
+    assert!(
+        stats.peak_deferred_bytes <= total * item_bytes,
+        "peak {} exceeds total ever retired {}",
+        stats.peak_deferred_bytes,
+        total * item_bytes
+    );
+
+    for p in &parks {
+        p.send(()).unwrap();
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+}
+
 /// A multi-thread swap workload frees every retirement at quiescence —
 /// the external contract crossbeam-epoch's reference implementation
 /// provides. (This began life as a side-by-side parity run against
