@@ -2,7 +2,8 @@
 //!
 //! The crate ships one tool, **`nbbst-lint`** (run it with
 //! `cargo run -p nbbst-analysis --bin nbbst-lint`), built from three
-//! passes over `crates/core`, `crates/reclaim`, and `crates/dictionary`:
+//! passes over `crates/core`, `crates/reclaim`, `crates/dictionary`, and
+//! `crates/sharded`:
 //!
 //! 1. [`ordering`] — every atomic call site must match a justified row in
 //!    `crates/analysis/orderings.toml`, the machine-readable source of
@@ -33,7 +34,15 @@ use std::path::{Path, PathBuf};
 
 /// The crates the lint covers, relative to the workspace root. The
 /// manifest, DESIGN.md §8, and the CI job all quantify over these.
-pub const LINTED_CRATES: [&str; 3] = ["crates/core", "crates/reclaim", "crates/dictionary"];
+/// (`crates/sharded` is expected to contribute zero manifest rows: the
+/// sharded frontend is deliberately atomics-free and `forbid(unsafe_code)`,
+/// and the lint keeps it that way.)
+pub const LINTED_CRATES: [&str; 4] = [
+    "crates/core",
+    "crates/reclaim",
+    "crates/dictionary",
+    "crates/sharded",
+];
 
 /// The default manifest location, relative to the workspace root.
 pub const MANIFEST_PATH: &str = "crates/analysis/orderings.toml";

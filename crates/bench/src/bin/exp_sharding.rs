@@ -1,0 +1,137 @@
+//! **T11** — sharded-frontend sweep: throughput vs. shard count across op
+//! mixes and key distributions, plus the shards=1 overhead guardrail.
+//!
+//! The EFRB tree never blocks, but write-heavy workloads still contend on
+//! the flag/mark CAS words near the root. `ShardedNbBst` splits the key
+//! space over independent trees, so this sweep answers two questions:
+//!
+//! * does the routing layer cost anything when it buys nothing
+//!   (shards=1 vs the plain tree, single thread — must stay within ~5%)?
+//! * how does throughput move with shard count as the mix gets more
+//!   write-heavy and the key distribution more skewed (Zipf hotspots
+//!   concentrate traffic on few shards, eroding the benefit)?
+//!
+//! On a 1-CPU container the sweep is a *routing-overhead* measurement,
+//! not a contention-relief one — shards only pay off with real
+//! parallelism; see EXPERIMENTS.md.
+//!
+//! The table is echoed to stdout and written to `results/exp_sharding.txt`
+//! and `results/exp_sharding.csv` (relative to the working directory).
+
+use nbbst_harness::{prefill, run_for, validate_after_run, KeyDist, OpMix, Table, WorkloadSpec};
+use std::io::Write;
+
+const ZIPF_THETA: f64 = 0.99;
+
+fn main() {
+    let args = nbbst_bench::ExpArgs::parse(200);
+    nbbst_bench::banner(
+        "T11",
+        "sharded frontend: shard count x op mix x key distribution",
+        "beyond the paper (Section 1: updates that do not interfere)",
+    );
+    let key_range = args.key_range.unwrap_or(1 << 14);
+    let threads = args.threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    println!(
+        "key_range={key_range}, threads={threads}, {} ms per cell\n",
+        args.duration_ms
+    );
+
+    let mixes: [(&str, OpMix); 3] = [
+        ("read-heavy", OpMix::READ_HEAVY),
+        ("balanced", OpMix::BALANCED),
+        ("update-only", OpMix::UPDATE_ONLY),
+    ];
+    let dists: [(&str, KeyDist); 2] = [
+        ("uniform", KeyDist::Uniform),
+        ("zipf-0.99", KeyDist::Zipf { theta: ZIPF_THETA }),
+    ];
+
+    // One row per (mix, dist); one throughput column per structure:
+    // the plain tree first as the baseline, then each shard count.
+    let structures: Vec<nbbst_bench::Factory> = {
+        let mut v = vec![nbbst_bench::scalable_structures()
+            .into_iter()
+            .find(|(n, _)| *n == "nbbst")
+            .expect("plain tree factory")];
+        v.extend(nbbst_bench::sharded_structures());
+        v
+    };
+
+    let mut header: Vec<String> = vec!["mix".into(), "dist".into()];
+    header.extend(structures.iter().map(|(n, _)| format!("{n} (Mops/s)")));
+    let mut table = Table::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+
+    for (mix_name, mix) in mixes {
+        for (dist_name, dist) in dists {
+            let spec = WorkloadSpec {
+                key_range,
+                mix,
+                dist,
+                prefill_fraction: 0.5,
+                seed: 71,
+            };
+            let mut row: Vec<String> = vec![mix_name.into(), dist_name.into()];
+            for (name, make) in &structures {
+                let map = make();
+                prefill(&*map, &spec);
+                let r = run_for(&*map, &spec, threads, args.duration());
+                validate_after_run(&*map, &spec, &r)
+                    .unwrap_or_else(|e| panic!("{name} corrupted ({mix_name}/{dist_name}): {e}"));
+                row.push(format!("{:.3}", r.mops()));
+            }
+            table.row_owned(row);
+        }
+    }
+    println!("{table}");
+
+    // Guardrail: the routing layer at shards=1 vs the plain tree on the
+    // T1 single-thread read-heavy point. Best-of-3 on each side to shave
+    // scheduler noise; the acceptance bound is <= 5% overhead.
+    let t1_spec = WorkloadSpec::read_heavy(1 << 16);
+    let best_of_3 = |make: fn() -> nbbst_bench::DynMap| -> f64 {
+        (0..3)
+            .map(|_| {
+                let map = make();
+                prefill(&*map, &t1_spec);
+                let r = run_for(&*map, &t1_spec, 1, args.duration());
+                validate_after_run(&*map, &t1_spec, &r).expect("overhead run corrupted");
+                r.mops()
+            })
+            .fold(0.0f64, f64::max)
+    };
+    let plain = best_of_3(
+        nbbst_bench::scalable_structures()
+            .into_iter()
+            .find(|(n, _)| *n == "nbbst")
+            .expect("plain tree factory")
+            .1,
+    );
+    let routed = best_of_3(
+        nbbst_bench::sharded_structures()
+            .into_iter()
+            .find(|(n, _)| *n == "sharded-1")
+            .expect("sharded-1 factory")
+            .1,
+    );
+    let overhead_pct = (plain - routed) / plain * 100.0;
+    println!(
+        "shards=1 overhead vs plain nbbst (T1 single-thread, best of 3): \
+         plain {plain:.3} Mops/s, sharded-1 {routed:.3} Mops/s, overhead {overhead_pct:+.2}%"
+    );
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    let mut txt = std::fs::File::create("results/exp_sharding.txt").expect("open txt report");
+    writeln!(txt, "{table}").expect("write txt report");
+    writeln!(
+        txt,
+        "shards=1 overhead vs plain nbbst (T1 single-thread, best of 3): {overhead_pct:+.2}%"
+    )
+    .expect("write txt report");
+    std::fs::write("results/exp_sharding.csv", table.to_csv()).expect("write csv report");
+    println!("reports written to results/exp_sharding.txt and results/exp_sharding.csv");
+}

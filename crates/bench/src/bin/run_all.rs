@@ -30,6 +30,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_helping",
     "exp_latency",
     "exp_linearize",
+    "exp_sharding",
 ];
 
 fn main() {

@@ -8,6 +8,7 @@
 use nbbst_baselines::{CoarseLockBst, FineLockBst, LockFreeList, SkipList, StdBTreeMap};
 use nbbst_core::NbBst;
 use nbbst_dictionary::ConcurrentMap;
+use nbbst_sharded::ShardedNbBst;
 
 /// A type-erased dictionary under test.
 pub type DynMap = Box<dyn ConcurrentMap<u64, u64>>;
@@ -33,12 +34,40 @@ fn make_list() -> DynMap {
 fn make_std_btree() -> DynMap {
     Box::new(StdBTreeMap::new())
 }
+fn make_sharded() -> DynMap {
+    Box::new(ShardedNbBst::new())
+}
+
+/// Factories for the sharded frontend at each swept shard count, plus the
+/// default-count entry (`Factory` is a fn pointer, so each count needs its
+/// own monomorphic constructor).
+pub fn sharded_structures() -> Vec<Factory> {
+    fn make_1() -> DynMap {
+        Box::new(ShardedNbBst::with_shards(1))
+    }
+    fn make_2() -> DynMap {
+        Box::new(ShardedNbBst::with_shards(2))
+    }
+    fn make_4() -> DynMap {
+        Box::new(ShardedNbBst::with_shards(4))
+    }
+    fn make_8() -> DynMap {
+        Box::new(ShardedNbBst::with_shards(8))
+    }
+    vec![
+        ("sharded-1", make_1),
+        ("sharded-2", make_2),
+        ("sharded-4", make_4),
+        ("sharded-8", make_8),
+    ]
+}
 
 /// The structures compared in the large-key-range experiments
 /// (T1/T2/T3/T4/T5).
 pub fn scalable_structures() -> Vec<Factory> {
     vec![
         ("nbbst", make_nbbst),
+        ("nbbst-sharded", make_sharded),
         ("skiplist", make_skiplist),
         ("fine-lock-bst", make_fine),
         ("coarse-lock-bst", make_coarse),

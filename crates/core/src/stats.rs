@@ -45,6 +45,38 @@ macro_rules! stats_fields {
             }
         }
 
+        impl StatsSnapshot {
+            /// Field-wise sum (`self + other`) — merging per-shard (or
+            /// per-phase) snapshots into one aggregate.
+            ///
+            /// Merging is commutative and associative, and every
+            /// [`StatsSnapshot::check_figure4`] identity is *linear*
+            /// (equalities and `<=` between counter sums), so identities
+            /// that hold per shard at quiescence hold for the merged
+            /// snapshot too.
+            #[must_use]
+            pub fn merge(&self, other: &StatsSnapshot) -> StatsSnapshot {
+                StatsSnapshot {
+                    $( $name: self.$name + other.$name, )+
+                }
+            }
+
+            /// Merges an iterator of snapshots (e.g. one per shard).
+            pub fn merged<I: IntoIterator<Item = StatsSnapshot>>(iter: I) -> StatsSnapshot {
+                iter.into_iter()
+                    .fold(StatsSnapshot::default(), |acc, s| acc.merge(&s))
+            }
+
+            /// Field-wise difference (`self - earlier`), for measuring one
+            /// phase of a long run.
+            #[must_use]
+            pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+                StatsSnapshot {
+                    $( $name: self.$name - earlier.$name, )+
+                }
+            }
+        }
+
         impl fmt::Display for StatsSnapshot {
             fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
                 $( writeln!(f, "{:<22} {:>12}", stringify!($name), self.$name)?; )+
@@ -234,38 +266,6 @@ impl StatsSnapshot {
             self.helps as f64 / updates as f64
         }
     }
-
-    /// Field-wise difference (`self - earlier`), for measuring one phase of
-    /// a long run.
-    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
-        StatsSnapshot {
-            finds: self.finds - earlier.finds,
-            inserts: self.inserts - earlier.inserts,
-            deletes: self.deletes - earlier.deletes,
-            inserts_true: self.inserts_true - earlier.inserts_true,
-            deletes_true: self.deletes_true - earlier.deletes_true,
-            searches: self.searches - earlier.searches,
-            insert_retries: self.insert_retries - earlier.insert_retries,
-            delete_retries: self.delete_retries - earlier.delete_retries,
-            iflag_attempts: self.iflag_attempts - earlier.iflag_attempts,
-            iflag_success: self.iflag_success - earlier.iflag_success,
-            ichild_success: self.ichild_success - earlier.ichild_success,
-            iunflag_success: self.iunflag_success - earlier.iunflag_success,
-            dflag_attempts: self.dflag_attempts - earlier.dflag_attempts,
-            dflag_success: self.dflag_success - earlier.dflag_success,
-            mark_attempts: self.mark_attempts - earlier.mark_attempts,
-            mark_success: self.mark_success - earlier.mark_success,
-            dchild_success: self.dchild_success - earlier.dchild_success,
-            dunflag_success: self.dunflag_success - earlier.dunflag_success,
-            backtrack_success: self.backtrack_success - earlier.backtrack_success,
-            helps: self.helps - earlier.helps,
-            help_insert_calls: self.help_insert_calls - earlier.help_insert_calls,
-            help_delete_calls: self.help_delete_calls - earlier.help_delete_calls,
-            help_marked_calls: self.help_marked_calls - earlier.help_marked_calls,
-            nodes_retired: self.nodes_retired - earlier.nodes_retired,
-            infos_retired: self.infos_retired - earlier.infos_retired,
-        }
-    }
 }
 
 #[cfg(test)]
@@ -330,6 +330,73 @@ mod tests {
         };
         let err = snap.check_figure4().unwrap_err();
         assert!(err.contains("dflag = mark + backtrack"), "{err}");
+    }
+
+    #[test]
+    fn merge_adds_fieldwise_and_is_commutative() {
+        let a = StatsSnapshot {
+            finds: 10,
+            iflag_success: 3,
+            nodes_retired: 7,
+            ..Default::default()
+        };
+        let b = StatsSnapshot {
+            finds: 5,
+            iflag_success: 2,
+            helps: 4,
+            ..Default::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.finds, 15);
+        assert_eq!(m.iflag_success, 5);
+        assert_eq!(m.nodes_retired, 7);
+        assert_eq!(m.helps, 4);
+        assert_eq!(a.merge(&b), b.merge(&a));
+    }
+
+    #[test]
+    fn merged_folds_many_and_preserves_figure4() {
+        // Each per-shard snapshot satisfies the Figure-4 identities; the
+        // identities are linear, so the merged snapshot must too.
+        let shard = |n: u64| StatsSnapshot {
+            iflag_attempts: n + 1,
+            iflag_success: n,
+            ichild_success: n,
+            iunflag_success: n,
+            inserts_true: n,
+            dflag_attempts: n,
+            dflag_success: n,
+            mark_attempts: n,
+            mark_success: n,
+            dchild_success: n,
+            dunflag_success: n,
+            deletes_true: n,
+            ..Default::default()
+        };
+        let parts: Vec<StatsSnapshot> = (1..=4).map(shard).collect();
+        for p in &parts {
+            p.check_figure4().unwrap();
+        }
+        let total = StatsSnapshot::merged(parts);
+        assert_eq!(total.iflag_success, 1 + 2 + 3 + 4);
+        assert_eq!(total.iflag_attempts, 2 + 3 + 4 + 5);
+        total.check_figure4().unwrap();
+    }
+
+    #[test]
+    fn merge_then_delta_round_trips() {
+        let a = StatsSnapshot {
+            finds: 9,
+            deletes: 2,
+            ..Default::default()
+        };
+        let b = StatsSnapshot {
+            finds: 4,
+            mark_success: 1,
+            ..Default::default()
+        };
+        assert_eq!(a.merge(&b).delta(&b), a);
+        assert_eq!(a.merge(&b).delta(&a), b);
     }
 
     #[test]

@@ -122,6 +122,29 @@ where
         t
     }
 
+    /// Like [`NbBst::new`], but retiring into `collector` instead of a
+    /// fresh private one — the constructor path for *sharded* frontends,
+    /// where every shard clones one collector so that any thread pinned on
+    /// any shard can steal and free garbage published by all of them (the
+    /// evictable-bag registry is collector-global; DESIGN.md §10/§11).
+    ///
+    /// Sharing a collector is purely a reclamation-domain choice: trees
+    /// never see each other's nodes, so the protocol is unaffected. The
+    /// final teardown runs when the **last** clone of `collector` drops.
+    pub fn with_collector(collector: Collector) -> NbBst<K, V> {
+        let mut t = NbBst::new();
+        t.collector = collector;
+        t
+    }
+
+    /// [`NbBst::with_collector`] with Figure-4 counters attached
+    /// (see [`NbBst::stats`]).
+    pub fn with_stats_and_collector(collector: Collector) -> NbBst<K, V> {
+        let mut t = NbBst::with_collector(collector);
+        t.stats = Some(Arc::new(TreeStats::default()));
+        t
+    }
+
     /// Like [`NbBst::new`], but **leaking** every removed node and Info
     /// record instead of reclaiming them — the paper's literal
     /// fresh-allocations memory model (Section 4.1), provided for the

@@ -16,7 +16,9 @@
 //!   `&mut self`.
 //!
 //! It also defines the [`Operation`]/[`Response`] vocabulary used to record
-//! histories for linearizability checking.
+//! histories for linearizability checking, and the [`ShardRoute`] key →
+//! shard splitter behind horizontally partitioned frontends
+//! ([`FibonacciRoute`] is the default hash-mixed route).
 //!
 //! # Semantics
 //!
@@ -45,8 +47,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod route;
 mod sentinel;
 
+pub use route::{FibonacciRoute, ShardRoute};
 pub use sentinel::{real_vs_node, SentinelKey};
 
 use std::collections::BTreeMap;

@@ -545,6 +545,15 @@ impl Collector {
         s.retired == s.freed
     }
 
+    /// Whether `self` and `other` are clones of the same collector (share
+    /// one epoch domain and evictable-bag registry).
+    ///
+    /// Sharded structures that are handed a collector clone per shard use
+    /// this to assert the shards really share one reclamation domain.
+    pub fn ptr_eq(&self, other: &Collector) -> bool {
+        Arc::ptr_eq(&self.global, &other.global)
+    }
+
     /// Current reclamation counters.
     pub fn stats(&self) -> ReclaimStats {
         ReclaimStats {

@@ -1,0 +1,526 @@
+//! # nbbst-sharded — horizontal partitioning over the EFRB tree
+//!
+//! A single EFRB tree ([`NbBst`]) serializes nothing, but under
+//! write-heavy traffic its throughput ceiling is *contention*: every
+//! update must flag the parent (and for deletes, the grandparent) with a
+//! CAS, and near the root those words are shared by most of the key
+//! space. The literature shrinks the contention window per update
+//! (Chatterjee et al.) or fans keys across wider nodes (ELB-trees); the
+//! cheapest composable route to the same end is **horizontal**:
+//! [`ShardedNbBst`] partitions the key space across a power-of-two array
+//! of independent EFRB trees, so update CASes on different shards can
+//! never contend, while each shard keeps the paper's lock-freedom and
+//! linearizability untouched.
+//!
+//! ## Why the composition stays linearizable
+//!
+//! Routing is *pure* (see [`ShardRoute`]): a key maps to exactly one
+//! shard for the lifetime of the map. Every dictionary operation touches
+//! exactly one key, hence exactly one shard, and linearizability is a
+//! **local** property (Herlihy & Wing, Theorem: a history is linearizable
+//! iff its per-object subhistories are) — so the composition of
+//! linearizable shards under pure per-key routing is linearizable. This
+//! is also locked empirically by `tests/linearizability.rs`, including an
+//! adversarial route that funnels every key through one shard.
+//!
+//! ## One reclamation domain
+//!
+//! All shards clone a single [`Collector`], so retirements from every
+//! shard land in one evictable-bag registry (DESIGN.md §10): a thread
+//! pinned while operating on shard 3 steals and frees garbage a parked
+//! thread published while updating shard 5, and teardown of the whole
+//! map drains everything when the last collector clone drops. Sharding
+//! therefore adds **no** new stranded-garbage scenarios over the single
+//! tree.
+//!
+//! ## What `size` means here
+//!
+//! [`ShardedNbBst::len_slow`] (and `quiescent_len`) sums per-shard
+//! counts taken one shard at a time — a *non-atomic snapshot*. See the
+//! method docs for the exact guarantee.
+//!
+//! ```
+//! use nbbst_sharded::ShardedNbBst;
+//! use nbbst_dictionary::ConcurrentMap;
+//!
+//! let map: ShardedNbBst<u64, &str> = ShardedNbBst::with_shards(8);
+//! assert_eq!(map.shard_count(), 8);
+//! assert!(map.insert(7, "seven"));
+//! assert!(!map.insert(7, "SEVEN")); // duplicates rejected, per the paper
+//! assert_eq!(map.get(&7), Some("seven"));
+//! assert!(map.remove(&7));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+use nbbst_core::{NbBst, StatsSnapshot};
+use nbbst_dictionary::{ConcurrentMap, FibonacciRoute, ShardRoute};
+use nbbst_reclaim::Collector;
+use std::fmt;
+use std::hash::Hash;
+
+/// A dictionary sharded over independent EFRB trees.
+///
+/// Keys are split across `shard_count()` (a power of two) trees by a
+/// pluggable [`ShardRoute`]; the default [`FibonacciRoute`] hash-mixes
+/// keys so even adversarially sequential key streams spread evenly. All
+/// shards share one reclamation [`Collector`].
+///
+/// The type implements [`ConcurrentMap`] end to end, so the workspace's
+/// harness, benches, and linearizability checker drive it unchanged.
+///
+/// # Examples
+///
+/// Concurrent use — shards remove the root-CAS contention ceiling for
+/// write-heavy mixes:
+///
+/// ```
+/// use nbbst_sharded::ShardedNbBst;
+/// use nbbst_dictionary::ConcurrentMap;
+///
+/// let map: ShardedNbBst<u64, u64> = ShardedNbBst::with_shards(4);
+/// std::thread::scope(|s| {
+///     for t in 0..4u64 {
+///         let map = &map;
+///         s.spawn(move || {
+///             for i in 0..100 {
+///                 map.insert(t * 100 + i, i);
+///             }
+///         });
+///     }
+/// });
+/// assert_eq!(map.quiescent_len(), 400);
+/// ```
+pub struct ShardedNbBst<K, V, R = FibonacciRoute> {
+    /// Declared before `collector` so shards (and their collector clones)
+    /// drop first; the struct's own clone then drops last among fields.
+    shards: Box<[NbBst<K, V>]>,
+    /// `shard_count() - 1`; kept for the `Debug` impl and cheap asserts
+    /// (routes receive the count, not the mask).
+    mask: usize,
+    route: R,
+    collector: Collector,
+}
+
+/// The default shard count: `next_pow2(4 × available_parallelism)`.
+///
+/// Four shards per hardware thread keeps the probability that two
+/// concurrent updates collide on one shard low (birthday bound) without
+/// inflating per-shard fixed costs; rounding to a power of two lets
+/// routes use shifts/masks.
+pub fn default_shard_count() -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    (4 * hw).next_power_of_two()
+}
+
+impl<K, V> ShardedNbBst<K, V, FibonacciRoute>
+where
+    K: Ord + Clone + Hash,
+    V: Clone,
+{
+    /// Creates a map with [`default_shard_count`] shards and the default
+    /// [`FibonacciRoute`] splitter.
+    pub fn new() -> Self {
+        Self::with_shards(default_shard_count())
+    }
+
+    /// Creates a map with `shards` shards (rounded up to a power of two,
+    /// minimum 1) and the default route.
+    pub fn with_shards(shards: usize) -> Self {
+        Self::with_route_and_shards(FibonacciRoute, shards)
+    }
+
+    /// Like [`ShardedNbBst::new`], with Figure-4 counters attached to
+    /// every shard (see [`ShardedNbBst::stats`]).
+    pub fn with_stats() -> Self {
+        Self::with_stats_and_shards(default_shard_count())
+    }
+
+    /// Like [`ShardedNbBst::with_shards`], with Figure-4 counters
+    /// attached to every shard.
+    pub fn with_stats_and_shards(shards: usize) -> Self {
+        Self::with_stats_route_and_shards(FibonacciRoute, shards)
+    }
+}
+
+impl<K, V, R> ShardedNbBst<K, V, R>
+where
+    K: Ord + Clone,
+    V: Clone,
+    R: ShardRoute<K>,
+{
+    /// Creates a map with a custom [`ShardRoute`] and `shards` shards
+    /// (rounded up to a power of two, minimum 1).
+    pub fn with_route_and_shards(route: R, shards: usize) -> Self {
+        Self::build(route, shards, false)
+    }
+
+    /// [`ShardedNbBst::with_route_and_shards`] with Figure-4 counters
+    /// attached to every shard.
+    pub fn with_stats_route_and_shards(route: R, shards: usize) -> Self {
+        Self::build(route, shards, true)
+    }
+
+    fn build(route: R, shards: usize, stats: bool) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        let collector = Collector::new();
+        let shards: Box<[NbBst<K, V>]> = (0..n)
+            .map(|_| {
+                if stats {
+                    NbBst::with_stats_and_collector(collector.clone())
+                } else {
+                    NbBst::with_collector(collector.clone())
+                }
+            })
+            .collect();
+        ShardedNbBst {
+            shards,
+            mask: n - 1,
+            route,
+            collector,
+        }
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The index of the shard that owns `key`.
+    pub fn shard_of(&self, key: &K) -> usize {
+        let s = self.route.shard(key, self.shards.len());
+        debug_assert!(s <= self.mask, "route returned out-of-range shard {s}");
+        s & self.mask
+    }
+
+    /// The per-shard trees, in shard order (for tests and experiments;
+    /// keys must still be routed via [`ShardedNbBst::shard_of`]).
+    pub fn shards(&self) -> &[NbBst<K, V>] {
+        &self.shards
+    }
+
+    /// The reclamation domain shared by every shard.
+    pub fn collector(&self) -> &Collector {
+        &self.collector
+    }
+
+    #[inline]
+    fn shard_for(&self, key: &K) -> &NbBst<K, V> {
+        &self.shards[self.shard_of(key)]
+    }
+
+    /// Adds `key` with `value`; on duplicate, returns ownership of both
+    /// (mirrors [`NbBst::insert_entry`]).
+    ///
+    /// # Errors
+    ///
+    /// `Err((key, value))` if the key was already present.
+    pub fn insert_entry(&self, key: K, value: V) -> Result<(), (K, V)> {
+        self.shard_for(&key).insert_entry(key, value)
+    }
+
+    /// Removes `key`; returns `true` iff it was present.
+    pub fn remove_key(&self, key: &K) -> bool {
+        self.shard_for(key).remove_key(key)
+    }
+
+    /// Removes `key`, returning a clone of its value if it was present.
+    pub fn remove_entry(&self, key: &K) -> Option<V> {
+        self.shard_for(key).remove_entry(key)
+    }
+
+    /// `true` iff `key` is in the dictionary (the paper's `Find`, routed).
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.shard_for(key).contains_key(key)
+    }
+
+    /// Like [`ShardedNbBst::contains_key`], returning a clone of the
+    /// stored value.
+    pub fn get_cloned(&self, key: &K) -> Option<V> {
+        self.shard_for(key).get_cloned(key)
+    }
+
+    /// Total key count, summed shard by shard — a **non-atomic
+    /// snapshot**.
+    ///
+    /// Each shard is counted at a different instant, so under concurrent
+    /// updates the sum may correspond to no single point in time: an
+    /// operation that moved the count on an already-counted shard while a
+    /// later shard is being scanned is half-visible. The value is exact
+    /// at quiescence (no update in flight), which is the only state the
+    /// harness's validators read it in; treat it as an estimate
+    /// otherwise. Keys never migrate between shards, so the error is
+    /// bounded by the number of updates in flight during the scan.
+    pub fn len_slow(&self) -> usize {
+        self.shards.iter().map(NbBst::len_slow).sum()
+    }
+
+    /// Verifies every shard's BST + EFRB invariants (quiescent, for
+    /// tests).
+    ///
+    /// # Errors
+    ///
+    /// Reports the first violating shard.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, shard) in self.shards.iter().enumerate() {
+            shard
+                .check_invariants()
+                .map_err(|e| format!("shard {i}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Merged Figure-4 counters over all shards, if the map was built
+    /// with stats (see [`ShardedNbBst::with_stats`]).
+    ///
+    /// The merge is a field-wise sum ([`StatsSnapshot::merge`]); because
+    /// every `check_figure4` identity is linear, identities that hold on
+    /// each shard at quiescence hold on the merged snapshot too — locked
+    /// by this crate's tests.
+    pub fn stats(&self) -> Option<StatsSnapshot> {
+        self.shard_stats().map(StatsSnapshot::merged)
+    }
+
+    /// Per-shard snapshots in shard order, if built with stats (for
+    /// imbalance diagnostics: compare per-shard `searches`/`inserts`).
+    pub fn shard_stats(&self) -> Option<Vec<StatsSnapshot>> {
+        self.shards.iter().map(NbBst::stats).collect()
+    }
+}
+
+impl<K, V> Default for ShardedNbBst<K, V, FibonacciRoute>
+where
+    K: Ord + Clone + Hash,
+    V: Clone,
+{
+    fn default() -> Self {
+        ShardedNbBst::new()
+    }
+}
+
+impl<K, V, R> ConcurrentMap<K, V> for ShardedNbBst<K, V, R>
+where
+    K: Ord + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+    R: ShardRoute<K>,
+{
+    fn insert(&self, key: K, value: V) -> bool {
+        self.insert_entry(key, value).is_ok()
+    }
+
+    fn remove(&self, key: &K) -> bool {
+        self.remove_key(key)
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        self.contains_key(key)
+    }
+
+    fn get(&self, key: &K) -> Option<V> {
+        self.get_cloned(key)
+    }
+
+    fn quiescent_len(&self) -> usize {
+        self.len_slow()
+    }
+}
+
+impl<K, V, R> fmt::Debug for ShardedNbBst<K, V, R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedNbBst")
+            .field("shards", &self.shards.len())
+            .field("mask", &self.mask)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbbst_dictionary::SeqMap;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn shard_counts_round_up_to_powers_of_two() {
+        for (requested, expect) in [(0usize, 1usize), (1, 1), (2, 2), (3, 4), (5, 8), (8, 8)] {
+            let m: ShardedNbBst<u64, u64> = ShardedNbBst::with_shards(requested);
+            assert_eq!(m.shard_count(), expect, "requested {requested}");
+        }
+        let d: ShardedNbBst<u64, u64> = ShardedNbBst::new();
+        assert_eq!(d.shard_count(), default_shard_count());
+        assert!(d.shard_count().is_power_of_two());
+    }
+
+    #[test]
+    fn roundtrip_and_duplicate_semantics() {
+        let m: ShardedNbBst<u64, String> = ShardedNbBst::with_shards(8);
+        assert!(m.insert_entry(9, "nine".into()).is_ok());
+        let (k, v) = m.insert_entry(9, "neuf".into()).unwrap_err();
+        assert_eq!((k, v.as_str()), (9, "neuf"));
+        assert_eq!(m.get_cloned(&9), Some("nine".to_string()));
+        assert_eq!(m.remove_entry(&9), Some("nine".to_string()));
+        assert!(!m.remove_key(&9));
+        assert!(m.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn every_shard_shares_one_collector() {
+        let m: ShardedNbBst<u64, u64> = ShardedNbBst::with_shards(8);
+        for s in m.shards() {
+            assert!(s.collector().ptr_eq(m.collector()));
+        }
+        // And a fresh map gets a fresh domain.
+        let other: ShardedNbBst<u64, u64> = ShardedNbBst::with_shards(2);
+        assert!(!other.collector().ptr_eq(m.collector()));
+    }
+
+    #[test]
+    fn keys_land_on_their_routed_shard_only() {
+        let m: ShardedNbBst<u64, u64> = ShardedNbBst::with_shards(8);
+        for k in 0..256u64 {
+            m.insert_entry(k, k).unwrap();
+        }
+        let mut sum = 0;
+        for (i, shard) in m.shards().iter().enumerate() {
+            for k in shard.keys_snapshot() {
+                assert_eq!(m.shard_of(&k), i, "key {k} on wrong shard");
+            }
+            sum += shard.len_slow();
+        }
+        assert_eq!(sum, 256);
+        assert_eq!(m.len_slow(), 256);
+    }
+
+    #[test]
+    fn matches_sequential_model_at_every_shard_count() {
+        for shards in [1usize, 2, 8] {
+            let m: ShardedNbBst<u64, u64> = ShardedNbBst::with_shards(shards);
+            let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+            let script: Vec<(u8, u64)> = (0..600)
+                .map(|i| ((i % 3) as u8, (i * 37 + 11) % 96))
+                .collect();
+            for (op, k) in script {
+                match op {
+                    0 => assert_eq!(
+                        m.insert_entry(k, k).is_ok(),
+                        SeqMap::insert(&mut oracle, k, k),
+                        "insert {k} at {shards} shards"
+                    ),
+                    1 => assert_eq!(
+                        m.remove_key(&k),
+                        SeqMap::remove(&mut oracle, &k),
+                        "remove {k} at {shards} shards"
+                    ),
+                    _ => assert_eq!(
+                        m.contains_key(&k),
+                        SeqMap::contains(&oracle, &k),
+                        "find {k} at {shards} shards"
+                    ),
+                }
+            }
+            assert_eq!(m.len_slow(), oracle.len());
+            m.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn concurrent_mixed_workload_merged_figure4_holds() {
+        // The acceptance check: merged per-shard Figure-4 identities hold
+        // at quiescence after a genuinely multi-threaded mixed run.
+        let m: ShardedNbBst<u64, u64> = ShardedNbBst::with_stats_and_shards(4);
+        std::thread::scope(|s| {
+            for tid in 0..8u64 {
+                let m = &m;
+                s.spawn(move || {
+                    let mut x = tid + 1;
+                    for _ in 0..3_000 {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let k = x % 128;
+                        match x % 3 {
+                            0 => {
+                                m.insert(k, k);
+                            }
+                            1 => {
+                                m.remove(&k);
+                            }
+                            _ => {
+                                m.contains(&k);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        m.check_invariants().unwrap();
+        // Per shard first (stronger), then merged (what callers see).
+        for (i, s) in m.shard_stats().unwrap().iter().enumerate() {
+            s.check_figure4()
+                .unwrap_or_else(|e| panic!("shard {i}: {e}"));
+        }
+        let merged = m.stats().unwrap();
+        merged.check_figure4().unwrap();
+        assert!(merged.inserts > 0 && merged.deletes > 0 && merged.finds > 0);
+    }
+
+    #[test]
+    fn adversarial_single_shard_route_still_correct() {
+        struct OneShard;
+        impl ShardRoute<u64> for OneShard {
+            fn shard(&self, _key: &u64, _shards: usize) -> usize {
+                0
+            }
+        }
+        let m: ShardedNbBst<u64, u64, OneShard> = ShardedNbBst::with_route_and_shards(OneShard, 8);
+        for k in 0..100u64 {
+            m.insert_entry(k, k).unwrap();
+        }
+        assert_eq!(m.shards()[0].len_slow(), 100);
+        assert!(m.shards()[1..].iter().all(|s| s.len_slow() == 0));
+        assert_eq!(m.len_slow(), 100);
+    }
+
+    #[test]
+    fn values_not_overwritten_under_contention() {
+        let m: ShardedNbBst<u64, u64> = ShardedNbBst::with_shards(2);
+        m.insert(1, 100);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = &m;
+                s.spawn(move || {
+                    for _ in 0..1_000 {
+                        m.insert(1, 999);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.get_cloned(&1), Some(100));
+    }
+
+    #[test]
+    fn drop_reclaims_across_shards() {
+        let m: ShardedNbBst<u64, u64> = ShardedNbBst::with_shards(4);
+        for k in 0..1_000u64 {
+            m.insert(k, k);
+        }
+        for k in (0..1_000u64).step_by(2) {
+            m.remove(&k);
+        }
+        let collector = m.collector().clone();
+        drop(m);
+        assert!(collector.try_drain(1_000), "{:?}", collector.stats());
+        let s = collector.stats();
+        assert_eq!(s.retired, s.freed, "{s:?}");
+        assert_eq!(s.deferred_bytes, 0, "{s:?}");
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShardedNbBst<u64, u64>>();
+    }
+}

@@ -14,6 +14,9 @@
 //! * [`model`] — sequential reference models.
 //! * [`baselines`] — lock-based and lock-free comparator dictionaries.
 //! * [`harness`] — workloads, throughput runners, linearizability checking.
+//! * [`ShardedNbBst`] / [`sharded`] — key-space partitioning across
+//!   independent EFRB trees behind one [`ConcurrentMap`] and one
+//!   reclamation domain.
 //!
 //! # Quickstart
 //!
@@ -35,6 +38,7 @@
 
 pub use nbbst_core::{NbBst, NbSet, State, StatsSnapshot};
 pub use nbbst_dictionary::{ConcurrentMap, Operation, Response, SeqMap};
+pub use nbbst_sharded::ShardedNbBst;
 
 /// The EFRB tree implementation crate ([`nbbst_core`]).
 pub use nbbst_core as core;
@@ -50,3 +54,6 @@ pub use nbbst_baselines as baselines;
 
 /// Workloads and measurement ([`nbbst_harness`]).
 pub use nbbst_harness as harness;
+
+/// Sharded frontend over the EFRB tree ([`nbbst_sharded`]).
+pub use nbbst_sharded as sharded;

@@ -1,0 +1,110 @@
+//! Property tests: [`ShardedNbBst`] agrees with a sequential `BTreeMap`
+//! oracle for arbitrary single-threaded histories, at every shard count
+//! the frontend is expected to run at, for both *spread-out* key sets
+//! (exercising every shard) and *adversarial* key sets whose every key
+//! collides onto a single shard (exercising one tree through the routed
+//! path, including its neighbours staying empty).
+
+use nbbst::sharded::ShardedNbBst;
+use nbbst::SeqMap;
+use nbbst_dictionary::{FibonacciRoute, ShardRoute};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Keys that [`FibonacciRoute`] sends to shard 0 of an 8-way map — the
+/// worst case for an 8-way split: all contention lands on one tree.
+fn colliding_keys() -> Vec<u64> {
+    let keys: Vec<u64> = (0..4_096u64)
+        .filter(|k| FibonacciRoute.shard(k, 8) == 0)
+        .take(64)
+        .collect();
+    assert!(keys.len() >= 32, "route too uniform to find collisions?");
+    keys
+}
+
+/// Replays `ops` against the sharded map and the oracle, asserting every
+/// return value matches, then checks the quiescent aggregates.
+fn replay_and_check(shards: usize, ops: &[(u8, u64)]) -> Result<(), proptest::TestCaseError> {
+    let map: ShardedNbBst<u64, u64> = ShardedNbBst::with_shards(shards);
+    let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+    for &(op, k) in ops {
+        match op {
+            0 => prop_assert_eq!(
+                map.insert_entry(k, k.wrapping_mul(3)).is_ok(),
+                SeqMap::insert(&mut oracle, k, k.wrapping_mul(3)),
+                "insert {} at {} shards",
+                k,
+                shards
+            ),
+            1 => prop_assert_eq!(
+                map.remove_key(&k),
+                SeqMap::remove(&mut oracle, &k),
+                "remove {} at {} shards",
+                k,
+                shards
+            ),
+            2 => prop_assert_eq!(
+                map.contains_key(&k),
+                SeqMap::contains(&oracle, &k),
+                "contains {} at {} shards",
+                k,
+                shards
+            ),
+            _ => prop_assert_eq!(
+                map.get_cloned(&k),
+                SeqMap::get(&oracle, &k),
+                "get {} at {} shards",
+                k,
+                shards
+            ),
+        }
+    }
+    prop_assert_eq!(map.len_slow(), oracle.len());
+    map.check_invariants().unwrap();
+    // Shard-local containment: every surviving key sits exactly on its
+    // routed shard.
+    for (i, shard) in map.shards().iter().enumerate() {
+        for k in shard.keys_snapshot() {
+            prop_assert_eq!(map.shard_of(&k), i, "key {} on wrong shard", k);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Spread-out keys: the full 0..96 range, which lands on every shard
+    /// of an 8-way map.
+    #[test]
+    fn sharded_matches_btreemap_spread_keys(
+        ops in proptest::collection::vec((0u8..4, 0u64..96), 0..300)
+    ) {
+        for shards in SHARD_COUNTS {
+            replay_and_check(shards, &ops)?;
+        }
+    }
+
+    /// Colliding keys: every key routes to shard 0 of the 8-way map, so
+    /// the whole history funnels through one tree while seven trees must
+    /// stay untouched.
+    #[test]
+    fn sharded_matches_btreemap_single_shard_colliding_keys(
+        ops in proptest::collection::vec(
+            (0u8..4, proptest::sample::select(colliding_keys())),
+            0..300,
+        )
+    ) {
+        for shards in SHARD_COUNTS {
+            replay_and_check(shards, &ops)?;
+        }
+        // The adversarial premise itself: at 8 shards, nothing leaks off
+        // shard 0.
+        let map: ShardedNbBst<u64, u64> = ShardedNbBst::with_shards(8);
+        for &(_, k) in &ops {
+            prop_assert_eq!(map.shard_of(&k), 0);
+            map.insert_entry(k, k).ok();
+        }
+        prop_assert!(map.shards()[1..].iter().all(|s| s.len_slow() == 0));
+    }
+}

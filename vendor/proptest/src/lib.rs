@@ -2,8 +2,9 @@
 //!
 //! Supports the subset the workspace's suites use: the [`proptest!`] test
 //! macro, [`Strategy`] with `prop_map`, [`prop_oneof!`] unions, `any::<T>()`,
-//! integer-range and tuple strategies, [`collection::vec`], and the
-//! `prop_assert!`/`prop_assert_eq!` assertion macros.
+//! integer-range and tuple strategies, [`collection::vec`],
+//! [`sample::select`], and the `prop_assert!`/`prop_assert_eq!` assertion
+//! macros.
 //!
 //! Semantics differences from real proptest, deliberately accepted:
 //!
@@ -247,6 +248,37 @@ pub mod collection {
     }
 }
 
+/// Sampling strategies over fixed value sets.
+pub mod sample {
+    use super::{SmallRng, Strategy};
+    use rand::Rng;
+    use std::fmt;
+
+    /// Strategy yielding a uniformly-chosen clone of one of a fixed set
+    /// of values (see [`select`]).
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        values: Vec<T>,
+    }
+
+    impl<T: Clone + fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            self.values[rng.gen_range(0..self.values.len())].clone()
+        }
+    }
+
+    /// Mirrors `proptest::sample::select(values)`: draws uniformly from
+    /// `values`. Panics if `values` is empty.
+    pub fn select<T: Clone + fmt::Debug>(values: Vec<T>) -> Select<T> {
+        assert!(
+            !values.is_empty(),
+            "sample::select needs at least one value"
+        );
+        Select { values }
+    }
+}
+
 /// Number of cases each [`proptest!`] test runs (env `PROPTEST_CASES`).
 pub fn case_count() -> u32 {
     std::env::var("PROPTEST_CASES")
@@ -419,6 +451,37 @@ mod tests {
             for (d, x) in doubled.iter().zip(&xs) {
                 prop_assert_eq!(*d, x * 2, "at x = {}", x);
             }
+        }
+    }
+
+    #[test]
+    fn select_draws_only_given_values_and_hits_all() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+        let values = vec![3u64, 17, 42];
+        let s = crate::sample::select(values.clone());
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            let i = values.iter().position(|&x| x == v).expect("foreign value");
+            seen[i] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn select_rejects_empty_set() {
+        let _ = crate::sample::select(Vec::<u64>::new());
+    }
+
+    #[test]
+    fn select_composes_with_vec_and_map() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let s = crate::collection::vec(crate::sample::select(vec![1u64, 2]), 3..4)
+            .prop_map(|v| v.iter().sum::<u64>());
+        for _ in 0..50 {
+            let sum = s.generate(&mut rng);
+            assert!((3..=6).contains(&sum));
         }
     }
 
