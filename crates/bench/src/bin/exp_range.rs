@@ -1,0 +1,203 @@
+//! **T12** — cross-shard range queries: route choice (hash vs. range
+//! partitioning) under range-query mixes and key skew.
+//!
+//! The sharded frontend offers globally ordered `range_snapshot` either
+//! way, but the cost model differs sharply:
+//!
+//! * `FibonacciRoute` scatters every key interval over all shards, so a
+//!   range query must snapshot **every** shard and k-way-merge — even
+//!   for a tiny span.
+//! * `RangeRoute` keeps intervals contiguous, so a range query touches
+//!   only the shards the split-point table says can overlap, and the
+//!   per-shard results concatenate. The flip side is load skew: a Zipf
+//!   key stream concentrates point operations on the shard owning the
+//!   hot interval (the `imbal` column, from `shard_load_report`).
+//!
+//! Each cell runs a mixed workload — `range_pct`% bounded range queries
+//! of span `span`, the rest the balanced point mix — and reports point
+//! throughput, range-query throughput, and the per-shard op imbalance
+//! (max/mean; 1.0 = even).
+//!
+//! The table is echoed to stdout and written to `results/exp_range.txt`
+//! and `results/exp_range.csv` (relative to the working directory).
+
+use nbbst_dictionary::{Operation, RangeRoute, ShardRoute, UniformU64};
+use nbbst_harness::{KeyDist, OpMix, Table, WorkloadSpec};
+use nbbst_sharded::ShardedNbBst;
+use std::ops::Bound;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+const ZIPF_THETA: f64 = 0.99;
+const SHARDS: usize = 8;
+
+struct CellResult {
+    point_mops: f64,
+    ranges_per_s: f64,
+    avg_scan_len: f64,
+    imbalance: f64,
+}
+
+/// Drives `threads` workers for `duration`: `range_pct`% of operations
+/// are `range_snapshot(k, k + span)`, the rest point ops from the spec's
+/// mix. Returns throughputs and the post-run shard imbalance.
+fn run_cell<R: ShardRoute<u64>>(
+    map: &ShardedNbBst<u64, u64, R>,
+    spec: &WorkloadSpec,
+    range_pct: u8,
+    span: u64,
+    threads: usize,
+    duration: Duration,
+) -> CellResult {
+    for k in spec.prefill_keys() {
+        map.insert_entry(k, k).ok();
+    }
+    let stop = AtomicBool::new(false);
+    let point_ops = AtomicU64::new(0);
+    let range_ops = AtomicU64::new(0);
+    let scanned = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let (map, stop) = (&map, &stop);
+            let (point_ops, range_ops, scanned) = (&point_ops, &range_ops, &scanned);
+            let mut gen = spec.generator(t);
+            s.spawn(move || {
+                let (mut points, mut ranges, mut keys_seen) = (0u64, 0u64, 0u64);
+                while !stop.load(Ordering::Relaxed) {
+                    // Batch the stop-flag check like the harness driver.
+                    for _ in 0..64 {
+                        let k = gen.next_key();
+                        if k % 100 < range_pct as u64 {
+                            let hi = k.saturating_add(span);
+                            let r = map.range_snapshot(Bound::Included(&k), Bound::Excluded(&hi));
+                            keys_seen += r.len() as u64;
+                            ranges += 1;
+                        } else {
+                            match gen.next_op() {
+                                Operation::Insert(k, v) => {
+                                    map.insert_entry(k, v).ok();
+                                }
+                                Operation::Remove(k) => {
+                                    map.remove_key(&k);
+                                }
+                                Operation::Contains(k) => {
+                                    map.contains_key(&k);
+                                }
+                            }
+                            points += 1;
+                        }
+                    }
+                }
+                point_ops.fetch_add(points, Ordering::Relaxed);
+                range_ops.fetch_add(ranges, Ordering::Relaxed);
+                scanned.fetch_add(keys_seen, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+    });
+    map.check_invariants().expect("map corrupted after run");
+    let secs = duration.as_secs_f64();
+    let ranges = range_ops.load(Ordering::Relaxed);
+    CellResult {
+        point_mops: point_ops.load(Ordering::Relaxed) as f64 / secs / 1e6,
+        ranges_per_s: ranges as f64 / secs,
+        avg_scan_len: if ranges == 0 {
+            0.0
+        } else {
+            scanned.load(Ordering::Relaxed) as f64 / ranges as f64
+        },
+        imbalance: map
+            .shard_load_report()
+            .map(|r| r.imbalance())
+            .unwrap_or(f64::NAN),
+    }
+}
+
+fn main() {
+    let args = nbbst_bench::ExpArgs::parse(200);
+    nbbst_bench::banner(
+        "T12",
+        "cross-shard range queries: route x range mix x key distribution",
+        "beyond the paper (ordered reads over the Section 3 dictionary)",
+    );
+    let key_range = args.key_range.unwrap_or(1 << 14);
+    let threads = args.threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    println!(
+        "key_range={key_range}, shards={SHARDS}, threads={threads}, {} ms per cell\n",
+        args.duration_ms
+    );
+
+    let mixes: [(&str, u8, u64); 3] = [
+        ("scan-light", 5, 100),
+        ("scan-heavy", 50, 100),
+        ("scan-wide", 10, 1 << 12),
+    ];
+    let dists: [(&str, KeyDist); 2] = [
+        ("uniform", KeyDist::Uniform),
+        ("zipf-0.99", KeyDist::Zipf { theta: ZIPF_THETA }),
+    ];
+
+    let mut table = Table::new(&[
+        "mix",
+        "dist",
+        "route",
+        "point (Mops/s)",
+        "ranges/s",
+        "avg scan",
+        "imbal",
+    ]);
+
+    for (mix_name, range_pct, span) in mixes {
+        for (dist_name, dist) in dists {
+            let spec = WorkloadSpec {
+                key_range,
+                mix: OpMix::BALANCED,
+                dist,
+                prefill_fraction: 0.5,
+                seed: 1712,
+            };
+            // Same spec through both routes; only the splitter differs.
+            let fib: ShardedNbBst<u64, u64> = ShardedNbBst::with_stats_and_shards(SHARDS);
+            let rng_route = RangeRoute::even(
+                &UniformU64 {
+                    lo: 0,
+                    hi: key_range - 1,
+                },
+                SHARDS,
+            );
+            let rng: ShardedNbBst<u64, u64, _> =
+                ShardedNbBst::with_stats_route_and_shards(rng_route, SHARDS);
+            for (route_name, cell) in [
+                (
+                    "fibonacci",
+                    run_cell(&fib, &spec, range_pct, span, threads, args.duration()),
+                ),
+                (
+                    "range",
+                    run_cell(&rng, &spec, range_pct, span, threads, args.duration()),
+                ),
+            ] {
+                table.row_owned(vec![
+                    mix_name.into(),
+                    dist_name.into(),
+                    route_name.into(),
+                    format!("{:.3}", cell.point_mops),
+                    format!("{:.0}", cell.ranges_per_s),
+                    format!("{:.1}", cell.avg_scan_len),
+                    format!("{:.2}", cell.imbalance),
+                ]);
+            }
+        }
+    }
+    println!("{table}");
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/exp_range.txt", format!("{table}\n")).expect("write txt report");
+    std::fs::write("results/exp_range.csv", table.to_csv()).expect("write csv report");
+    println!("reports written to results/exp_range.txt and results/exp_range.csv");
+}

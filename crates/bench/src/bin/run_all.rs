@@ -31,6 +31,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_latency",
     "exp_linearize",
     "exp_sharding",
+    "exp_range",
 ];
 
 fn main() {

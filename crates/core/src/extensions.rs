@@ -3,20 +3,39 @@
 //! The paper notes the dictionary "can also store auxiliary data with
 //! each key"; these conveniences make that practical in Rust without
 //! changing the algorithm: zero-clone guarded reads, bounded range
-//! snapshots (using the BST order), min/max queries, and the standard
-//! collection traits.
+//! snapshots (using the BST order), min/max queries, streaming in-order
+//! visitors, and the standard collection traits.
 //!
 //! All snapshot-style views are **weakly consistent** (exact at
-//! quiescence), like the views in [`crate::view`]. Point reads
+//! quiescence), like the views in [`crate::view`], and — also like
+//! [`crate::view`] — every traversal here is **iterative** (explicit
+//! heap stack via the in-order cursor), so snapshots cost O(1) call
+//! stack even on the degenerate O(n)-deep trees that ordered insertion
+//! produces in this never-rebalanced structure. Point reads
 //! ([`NbBst::get_with`], [`NbBst::min_key`], [`NbBst::max_key`]) are
 //! linearizable: they are `Find`s (a min/max query is a `Search` steered
 //! hard left/right, reaching a leaf that was on its search path).
 
-use crate::node::Node;
 use crate::tree::NbBst;
+use crate::view::InorderCursor;
 use nbbst_dictionary::SentinelKey;
-use nbbst_reclaim::Guard;
 use std::ops::Bound;
+
+fn in_lo<K: Ord>(k: &K, lo: Bound<&K>) -> bool {
+    match lo {
+        Bound::Unbounded => true,
+        Bound::Included(b) => k >= b,
+        Bound::Excluded(b) => k > b,
+    }
+}
+
+fn in_hi<K: Ord>(k: &K, hi: Bound<&K>) -> bool {
+    match hi {
+        Bound::Unbounded => true,
+        Bound::Included(b) => k <= b,
+        Bound::Excluded(b) => k < b,
+    }
+}
 
 impl<K, V> NbBst<K, V>
 where
@@ -63,7 +82,7 @@ where
 
     fn extreme_key(&self, min: bool) -> Option<K> {
         let guard = self.pin();
-        let mut cur: &Node<K, V> = self.root();
+        let mut cur = self.root();
         loop {
             if cur.is_leaf {
                 // A sentinel leaf here means the dictionary is empty on
@@ -80,7 +99,8 @@ where
     }
 
     /// All `(key, value)` clones with `lo <= key < hi` style bounds, in
-    /// order, pruning subtrees outside the range. Weakly consistent.
+    /// order, pruning subtrees outside the range. Weakly consistent;
+    /// O(1) call stack regardless of tree depth.
     ///
     /// # Examples
     ///
@@ -96,64 +116,45 @@ where
     /// assert_eq!(mid, vec![(3, 30), (5, 50), (7, 70)]);
     /// ```
     pub fn range_snapshot(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<(K, V)> {
-        fn in_lo<K: Ord>(k: &K, lo: Bound<&K>) -> bool {
-            match lo {
-                Bound::Unbounded => true,
-                Bound::Included(b) => k >= b,
-                Bound::Excluded(b) => k > b,
-            }
-        }
-        fn in_hi<K: Ord>(k: &K, hi: Bound<&K>) -> bool {
-            match hi {
-                Bound::Unbounded => true,
-                Bound::Included(b) => k <= b,
-                Bound::Excluded(b) => k < b,
-            }
-        }
-        fn go<K: Ord + Clone, V: Clone>(
-            node: &Node<K, V>,
-            lo: Bound<&K>,
-            hi: Bound<&K>,
-            guard: &Guard,
-            out: &mut Vec<(K, V)>,
-        ) {
-            if node.is_leaf {
-                if let SentinelKey::Key(k) = &node.key {
-                    if in_lo(k, lo) && in_hi(k, hi) {
-                        let v = node.value.as_ref().expect("real leaf has value");
-                        out.push((k.clone(), v.clone()));
-                    }
-                }
-                return;
-            }
-            // BST property: left subtree < node.key <= right subtree.
-            // Prune: skip left if everything there is below `lo`; skip
-            // right if node.key is already above `hi`.
-            let visit_left = match (&node.key, lo) {
-                (SentinelKey::Key(nk), Bound::Included(b)) => nk > b,
-                (SentinelKey::Key(nk), Bound::Excluded(b)) => nk > b,
-                _ => true, // sentinel routing keys or unbounded: cannot prune
-            };
-            let visit_right = match (&node.key, hi) {
-                (SentinelKey::Key(nk), Bound::Included(b)) => nk <= b,
-                (SentinelKey::Key(nk), Bound::Excluded(b)) => nk <= b, // keys >= nk may still be < b
-                _ => true,
-            };
-            if visit_left {
-                // SAFETY: reachable child under pin.
-                let l = unsafe { node.load_child(true, guard).deref() };
-                go(l, lo, hi, guard, out);
-            }
-            if visit_right {
-                // SAFETY: reachable child under pin.
-                let r = unsafe { node.load_child(false, guard).deref() };
-                go(r, lo, hi, guard, out);
-            }
-        }
-        let guard = self.pin();
         let mut out = Vec::new();
-        go(self.root(), lo, hi, &guard, &mut out);
+        self.for_each_in_range(lo, hi, |k, v| out.push((k.clone(), v.clone())));
         out
+    }
+
+    /// Applies `f` to every `(key, value)` in ascending key order without
+    /// cloning or materializing the whole snapshot. Weakly consistent,
+    /// O(1) call stack; the references are valid only inside `f` (the
+    /// tree is pinned for the duration of the call).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nbbst_core::NbBst;
+    ///
+    /// let t: NbBst<u64, u64> = (0u64..5).map(|k| (k, k * k)).collect();
+    /// let mut sum = 0;
+    /// t.for_each_entry(|_, v| sum += *v);
+    /// assert_eq!(sum, 0 + 1 + 4 + 9 + 16);
+    /// ```
+    pub fn for_each_entry(&self, mut f: impl FnMut(&K, &V)) {
+        self.for_each_in_range(Bound::Unbounded, Bound::Unbounded, |k, v| f(k, v));
+    }
+
+    /// [`NbBst::for_each_entry`] restricted to `[lo, hi]`-style bounds,
+    /// pruning subtrees outside the range during the descent.
+    pub fn for_each_in_range(&self, lo: Bound<&K>, hi: Bound<&K>, mut f: impl FnMut(&K, &V)) {
+        let guard = self.pin();
+        let mut cursor = InorderCursor::with_bounds(self.root(), &guard, lo, hi);
+        while let Some(leaf) = cursor.next_leaf() {
+            if let SentinelKey::Key(k) = &leaf.key {
+                // The cursor prunes whole subtrees; leaves of partially
+                // overlapping subtrees still need the exact bound check.
+                if in_lo(k, lo) && in_hi(k, hi) {
+                    let v = leaf.value.as_ref().expect("real leaf has value");
+                    f(k, v);
+                }
+            }
+        }
     }
 
     /// Bulk-inserts from an iterator, skipping duplicates; returns how
@@ -243,6 +244,23 @@ mod tests {
     }
 
     #[test]
+    fn for_each_visits_in_order_and_respects_bounds() {
+        let t = tree(&[8, 2, 6, 4, 10]);
+        let mut keys = Vec::new();
+        t.for_each_entry(|k, v| {
+            assert_eq!(*v, k * 10);
+            keys.push(*k);
+        });
+        assert_eq!(keys, vec![2, 4, 6, 8, 10]);
+
+        let mut ranged = Vec::new();
+        t.for_each_in_range(Bound::Included(&4), Bound::Excluded(&10), |k, _| {
+            ranged.push(*k)
+        });
+        assert_eq!(ranged, vec![4, 6, 8]);
+    }
+
+    #[test]
     fn range_matches_btreemap_on_random_data() {
         use std::collections::BTreeMap;
         let mut reference = BTreeMap::new();
@@ -310,6 +328,76 @@ mod tests {
                 assert!(r.windows(2).all(|w| w[0].0 < w[1].0));
                 assert!(r.iter().all(|(k, _)| (64..192).contains(k)));
             }
+            writer.join().unwrap();
+        });
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn sequential_insert_tree_snapshots_use_constant_stack() {
+        // The honest (public-API) form of the degenerate regression: a
+        // genuinely sequential-insert tree, sized so the quadratic build
+        // stays cheap, traversed inside a 192 KiB stack that the old
+        // recursive walks (hundreds of bytes × 10k frames) could not fit.
+        const N: u64 = 10_000;
+        std::thread::Builder::new()
+            .stack_size(192 * 1024)
+            .spawn(|| {
+                let t: NbBst<u64, u64> = NbBst::new();
+                for k in 0..N {
+                    t.insert_entry(k, k).unwrap();
+                }
+                assert_eq!(t.height(), (N + 1) as usize, "path tree: depth n+1");
+                t.check_invariants().unwrap();
+                let all = t.range_snapshot(Bound::Unbounded, Bound::Unbounded);
+                assert_eq!(all.len(), N as usize);
+                assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+                assert_eq!(t.len_slow(), N as usize);
+            })
+            .expect("spawn small-stack thread")
+            .join()
+            .expect("snapshots on a sequential-insert tree must not overflow");
+    }
+
+    #[test]
+    fn range_is_safe_on_degenerate_tree_during_concurrent_updates() {
+        // Regression lock under *contention*: the tree starts as a
+        // sequential-insert path (depth ≈ 4096), writers churn the deep
+        // end while a small-stack reader keeps snapshotting. Before the
+        // iterative rewrite the reader recursed once per level and
+        // overflowed its 128 KiB stack deterministically.
+        const N: u64 = 4_096;
+        let t: NbBst<u64, u64> = NbBst::new();
+        for k in 0..N {
+            t.insert_entry(k, k).unwrap();
+        }
+        std::thread::scope(|s| {
+            let writer = s.spawn(|| {
+                for i in 0..1_000u64 {
+                    // Churn near the deep (large-key) end of the path.
+                    let k = N - 1 - (i % 64);
+                    if i % 2 == 0 {
+                        t.remove_key(&k);
+                    } else {
+                        t.insert_entry(k, k).ok();
+                    }
+                }
+            });
+            let reader = std::thread::Builder::new()
+                .stack_size(128 * 1024)
+                .spawn_scoped(s, || {
+                    for _ in 0..30 {
+                        let r = t.range_snapshot(Bound::Included(&0), Bound::Unbounded);
+                        assert!(r.windows(2).all(|w| w[0].0 < w[1].0));
+                        // Keys below the churn window are never touched.
+                        assert!(r.len() >= (N - 64) as usize);
+                        let _ = t.height();
+                    }
+                })
+                .expect("spawn small-stack reader");
+            reader
+                .join()
+                .expect("degenerate-tree snapshots must not overflow under contention");
             writer.join().unwrap();
         });
         t.check_invariants().unwrap();

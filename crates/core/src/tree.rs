@@ -692,6 +692,39 @@ where
     }
 }
 
+#[cfg(test)]
+impl NbBst<u64, u64> {
+    /// Builds, in O(n) time, exactly the tree that
+    /// `insert_entry(0, 0) .. insert_entry(n-1, n-1)` produces: a
+    /// right-leaning path of depth `n + 1` under the sentinel spine
+    /// (the tree is never rebalanced, so ascending inserts degenerate).
+    ///
+    /// Test-only: the public-API build walks the whole existing path per
+    /// insert and is therefore Θ(n²) — minutes of wall clock at the
+    /// 100 000-key scale the stack-overflow regression tests need.
+    /// `degenerate_constructor_matches_real_inserts` locks this
+    /// constructor against the real insert path shape-for-shape.
+    pub(crate) fn degenerate_ascending(n: u64) -> NbBst<u64, u64> {
+        assert!(n >= 1, "a degenerate path needs at least one key");
+        // Innermost: the deepest leaf holds the largest key. Each wrap
+        // `internal(k) { left: leaf(k-1), right: <deeper chain> }`
+        // mirrors one ascending insert (routing key = the larger key).
+        let mut cur = Box::into_raw(Box::new(Node::leaf(SentinelKey::Key(n - 1), Some(n - 1))));
+        for k in (1..n).rev() {
+            let left = Box::into_raw(Box::new(Node::leaf(SentinelKey::Key(k - 1), Some(k - 1))));
+            cur = Box::into_raw(Box::new(Node::internal(SentinelKey::Key(k), left, cur)));
+        }
+        let inf1 = Box::into_raw(Box::new(Node::leaf(SentinelKey::Inf1, None)));
+        let under_root = Box::into_raw(Box::new(Node::internal(SentinelKey::Inf1, cur, inf1)));
+        let inf2 = Box::into_raw(Box::new(Node::leaf(SentinelKey::Inf2, None)));
+        NbBst {
+            root: Box::new(Node::internal(SentinelKey::Inf2, under_root, inf2)),
+            collector: Collector::new(),
+            stats: None,
+        }
+    }
+}
+
 impl<K, V> Default for NbBst<K, V>
 where
     K: Ord + Clone,

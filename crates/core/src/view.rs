@@ -5,6 +5,19 @@
 //! update in flight), and a correct view of some mixture of states
 //! otherwise. These operations exist for validation, experiments and
 //! figures — they are not part of the paper's algorithm.
+//!
+//! ## Every traversal is iterative (O(1) call stack)
+//!
+//! The paper's tree is never rebalanced, so adversarial insertion orders
+//! (most commonly: sequential keys) produce root-to-leaf paths of depth
+//! *n*. A recursive walk therefore overflows the thread stack within a
+//! few tens of thousands of ordered inserts — long before memory or time
+//! become a problem. Every whole-tree read in this module and in
+//! [`crate::extensions`] drives an explicit heap-allocated stack (the
+//! shared machinery is [`InorderCursor`]), so traversal depth costs heap
+//! bytes, never call-stack frames. Locked by the `degenerate_*`
+//! regression tests below, which walk a 100 000-deep path inside a
+//! deliberately tiny (128 KiB) thread stack.
 
 use crate::node::{Node, UpdateWordExt};
 use crate::state::State;
@@ -12,6 +25,86 @@ use crate::tree::NbBst;
 use nbbst_dictionary::SentinelKey;
 use nbbst_reclaim::Guard;
 use std::fmt;
+use std::ops::Bound;
+
+/// A pinned in-order cursor over the leaves of a subtree, with optional
+/// key-range pruning — the reusable explicit-stack walk behind every
+/// snapshot-style view.
+///
+/// Children are pushed right-then-left, so leaves pop in left-to-right
+/// (ascending-key) order. The descent prunes whole subtrees that the
+/// BST property places outside `[lo, hi]`; leaves from partially
+/// overlapping subtrees are still yielded, so callers applying bounds
+/// must filter leaf keys themselves (see `range_snapshot`).
+///
+/// All state lives in a heap `Vec`: advancing the cursor never recurses,
+/// so arbitrarily deep (unbalanced) trees cost O(depth) heap and O(1)
+/// call stack.
+pub(crate) struct InorderCursor<'g, 'b, K, V> {
+    stack: Vec<&'g Node<K, V>>,
+    guard: &'g Guard,
+    lo: Bound<&'b K>,
+    hi: Bound<&'b K>,
+}
+
+impl<'g, 'b, K: Ord, V> InorderCursor<'g, 'b, K, V> {
+    /// A cursor over every leaf of the subtree under `root`.
+    pub(crate) fn new(root: &'g Node<K, V>, guard: &'g Guard) -> Self {
+        Self::with_bounds(root, guard, Bound::Unbounded, Bound::Unbounded)
+    }
+
+    /// A cursor that skips subtrees provably outside `[lo, hi]`.
+    pub(crate) fn with_bounds(
+        root: &'g Node<K, V>,
+        guard: &'g Guard,
+        lo: Bound<&'b K>,
+        hi: Bound<&'b K>,
+    ) -> Self {
+        InorderCursor {
+            stack: vec![root],
+            guard,
+            lo,
+            hi,
+        }
+    }
+
+    /// The next leaf in ascending key order, or `None` when exhausted.
+    pub(crate) fn next_leaf(&mut self) -> Option<&'g Node<K, V>> {
+        while let Some(node) = self.stack.pop() {
+            if node.is_leaf {
+                return Some(node);
+            }
+            // BST property: left subtree < node.key <= right subtree.
+            // Prune: skip left if everything there is below `lo`; skip
+            // right if node.key is already above `hi`. Sentinel routing
+            // keys cannot prune (their left subtree holds all real keys).
+            let visit_left = match (&node.key, self.lo) {
+                (SentinelKey::Key(nk), Bound::Included(b)) => nk > b,
+                (SentinelKey::Key(nk), Bound::Excluded(b)) => nk > b,
+                _ => true,
+            };
+            let visit_right = match (&node.key, self.hi) {
+                (SentinelKey::Key(nk), Bound::Included(b)) => nk <= b,
+                // Keys >= nk may still be < b.
+                (SentinelKey::Key(nk), Bound::Excluded(b)) => nk <= b,
+                _ => true,
+            };
+            // Right first so the left child pops (and yields) first.
+            if visit_right {
+                // SAFETY: reachable child of a reachable internal node,
+                // under pin.
+                let r = unsafe { node.load_child(false, self.guard).deref() };
+                self.stack.push(r);
+            }
+            if visit_left {
+                // SAFETY: reachable child under pin, as above.
+                let l = unsafe { node.load_child(true, self.guard).deref() };
+                self.stack.push(l);
+            }
+        }
+        None
+    }
+}
 
 impl<K, V> NbBst<K, V>
 where
@@ -60,34 +153,33 @@ where
     /// Height in edges of the longest root-to-leaf path (the initial
     /// sentinel tree has height 1). Exact only at quiescence.
     pub fn height(&self) -> usize {
-        fn h<K, V>(node: &Node<K, V>, guard: &Guard) -> usize {
-            if node.is_leaf {
-                return 0;
-            }
-            let l = node.load_child(true, guard);
-            let r = node.load_child(false, guard);
-            // SAFETY: children of a reachable internal node, under pin.
-            let (l, r) = unsafe { (l.deref(), r.deref()) };
-            1 + h(l, guard).max(h(r, guard))
-        }
         let guard = self.pin();
-        h(self.root(), &guard)
+        let mut max = 0usize;
+        let mut stack: Vec<(&Node<K, V>, usize)> = vec![(self.root(), 0)];
+        while let Some((node, depth)) = stack.pop() {
+            if node.is_leaf {
+                max = max.max(depth);
+                continue;
+            }
+            // SAFETY: children of a reachable internal node, under pin.
+            let (l, r) = unsafe {
+                (
+                    node.load_child(true, &guard).deref(),
+                    node.load_child(false, &guard).deref(),
+                )
+            };
+            stack.push((l, depth + 1));
+            stack.push((r, depth + 1));
+        }
+        max
     }
 
     /// In-order traversal applying `f` to every leaf. Weakly consistent.
-    fn walk_leaves(&self, guard: &Guard, f: &mut impl FnMut(&Node<K, V>)) {
-        fn go<K, V>(node: &Node<K, V>, guard: &Guard, f: &mut impl FnMut(&Node<K, V>)) {
-            if node.is_leaf {
-                f(node);
-                return;
-            }
-            // SAFETY: reachable children under pin.
-            let l = unsafe { node.load_child(true, guard).deref() };
-            let r = unsafe { node.load_child(false, guard).deref() };
-            go(l, guard, f);
-            go(r, guard, f);
+    pub(crate) fn walk_leaves(&self, guard: &Guard, f: &mut impl FnMut(&Node<K, V>)) {
+        let mut cursor = InorderCursor::new(self.root(), guard);
+        while let Some(leaf) = cursor.next_leaf() {
+            f(leaf);
         }
-        go(self.root(), guard, f);
     }
 
     /// Checks the structural invariants the paper's proof establishes, at
@@ -123,19 +215,20 @@ where
             return Err("root's right child is not the ∞2 leaf".into());
         }
 
-        struct Ctx<'a> {
-            allow_flags: bool,
-            sentinel_leaves: usize,
-            real_leaves: usize,
-            guard: &'a Guard,
-        }
-        fn go<K: Ord + Clone, V>(
-            node: &Node<K, V>,
-            lo: Option<&SentinelKey<K>>,
-            hi: Option<&SentinelKey<K>>,
-            prev: &mut Option<SentinelKey<K>>,
-            ctx: &mut Ctx<'_>,
-        ) -> Result<(), String> {
+        // Explicit-stack in-order walk carrying each node's ancestor key
+        // interval; frames are (node, lower bound, upper bound). Bounds
+        // borrow the keys of live ancestor nodes, which the pin keeps
+        // valid for the whole walk.
+        let mut sentinel_leaves = 0usize;
+        let mut real_leaves = 0usize;
+        let mut prev: Option<&SentinelKey<K>> = None;
+        type Frame<'g, K, V> = (
+            &'g Node<K, V>,
+            Option<&'g SentinelKey<K>>,
+            Option<&'g SentinelKey<K>>,
+        );
+        let mut stack: Vec<Frame<'_, K, V>> = vec![(root, None, None)];
+        while let Some((node, lo, hi)) = stack.pop() {
             if let Some(lo) = lo {
                 if node.key < *lo {
                     return Err("BST property violated: key below lower bound".into());
@@ -148,47 +241,40 @@ where
             }
             if node.is_leaf {
                 if node.key.is_sentinel() {
-                    ctx.sentinel_leaves += 1;
+                    sentinel_leaves += 1;
                 } else {
-                    ctx.real_leaves += 1;
+                    real_leaves += 1;
                 }
                 if let Some(p) = prev {
                     if *p >= node.key {
                         return Err("leaf keys not strictly increasing".into());
                     }
                 }
-                *prev = Some(node.key.clone());
-                return Ok(());
+                prev = Some(&node.key);
+                continue;
             }
-            if !ctx.allow_flags {
-                let state = node.load_update(ctx.guard).state();
+            if !allow_flags {
+                let state = node.load_update(&guard).state();
                 if state != State::Clean {
                     return Err(format!("internal node not Clean at quiescence: {state}"));
                 }
             }
-            let l = node.load_child(true, ctx.guard);
-            let r = node.load_child(false, ctx.guard);
+            let l = node.load_child(true, &guard);
+            let r = node.load_child(false, &guard);
             if l.is_null() || r.is_null() {
                 return Err("internal node with a null child".into());
             }
             // SAFETY: reachable under pin.
             let (l, r) = unsafe { (l.deref(), r.deref()) };
-            go(l, lo, Some(&node.key), prev, ctx)?;
-            go(r, Some(&node.key), hi, prev, ctx)
+            // Right first so the left subtree is fully visited first
+            // (in-order, for the `prev` strictly-increasing check).
+            stack.push((r, Some(&node.key), hi));
+            stack.push((l, lo, Some(&node.key)));
         }
-
-        let mut ctx = Ctx {
-            allow_flags,
-            sentinel_leaves: 0,
-            real_leaves: 0,
-            guard: &guard,
-        };
-        let mut prev = None;
-        go(root, None, None, &mut prev, &mut ctx)?;
-        if ctx.sentinel_leaves != 2 {
+        let _ = real_leaves;
+        if sentinel_leaves != 2 {
             return Err(format!(
-                "expected exactly 2 sentinel leaves, found {}",
-                ctx.sentinel_leaves
+                "expected exactly 2 sentinel leaves, found {sentinel_leaves}"
             ));
         }
         Ok(())
@@ -197,18 +283,20 @@ where
     /// Renders the tree as indented ASCII in the style of the paper's
     /// figures: internal nodes `(key state)`, leaves `[key]`.
     ///
-    /// Used by the figure-regeneration binaries (F1/F2/F5/F6).
+    /// Used by the figure-regeneration binaries (F1/F2/F5/F6). The output
+    /// itself is O(depth) characters *per line*, so rendering a degenerate
+    /// tree is inherently quadratic in the output — but the walk is
+    /// iterative, so the only cost is the string, never the call stack.
     pub fn render(&self) -> String
     where
         K: fmt::Display,
     {
-        fn go<K: fmt::Display, V>(
-            node: &Node<K, V>,
-            prefix: &str,
-            last: bool,
-            guard: &Guard,
-            out: &mut String,
-        ) {
+        let guard = self.pin();
+        let mut out = String::new();
+        // Frames: (node, prefix, is-last-child). Right is pushed first so
+        // the left sibling prints first, exactly like the old recursion.
+        let mut stack: Vec<(&Node<K, V>, String, bool)> = vec![(self.root(), String::new(), true)];
+        while let Some((node, prefix, last)) = stack.pop() {
             let branch = if prefix.is_empty() {
                 ""
             } else if last {
@@ -218,9 +306,9 @@ where
             };
             if node.is_leaf {
                 out.push_str(&format!("{prefix}{branch}[{}]\n", node.key));
-                return;
+                continue;
             }
-            let state = node.load_update(guard).state();
+            let state = node.load_update(&guard).state();
             if state == State::Clean {
                 out.push_str(&format!("{prefix}{branch}({})\n", node.key));
             } else {
@@ -231,15 +319,16 @@ where
             } else {
                 format!("{prefix}{}", if last { "    " } else { "│   " })
             };
-            // SAFETY: reachable under pin.
-            let l = unsafe { node.load_child(true, guard).deref() };
-            let r = unsafe { node.load_child(false, guard).deref() };
-            go(l, &child_prefix, false, guard, out);
-            go(r, &child_prefix, true, guard, out);
+            // SAFETY: reachable children under pin.
+            let (l, r) = unsafe {
+                (
+                    node.load_child(true, &guard).deref(),
+                    node.load_child(false, &guard).deref(),
+                )
+            };
+            stack.push((r, child_prefix.clone(), true));
+            stack.push((l, child_prefix, false));
         }
-        let guard = self.pin();
-        let mut out = String::new();
-        go(self.root(), "", true, &guard, &mut out);
         out
     }
 
@@ -265,6 +354,7 @@ where
 #[cfg(test)]
 mod tests {
     use crate::{NbBst, State};
+    use std::ops::Bound;
 
     fn tree(keys: &[u64]) -> NbBst<u64, u64> {
         let t = NbBst::new();
@@ -272,6 +362,19 @@ mod tests {
             t.insert_entry(k, k * 2).unwrap();
         }
         t
+    }
+
+    /// Runs `f` on a thread whose stack is far too small for an O(depth)
+    /// recursion over `depth`-deep trees — the regression harness proving
+    /// the traversals use O(1) call stack.
+    fn on_tiny_stack<F: FnOnce() + Send + 'static>(f: F) {
+        std::thread::Builder::new()
+            .name("tiny-stack".into())
+            .stack_size(128 * 1024)
+            .spawn(f)
+            .expect("spawn tiny-stack thread")
+            .join()
+            .expect("tiny-stack traversals completed");
     }
 
     #[test]
@@ -326,5 +429,72 @@ mod tests {
         t.check_invariants_allowing(true).unwrap();
         ins.complete();
         t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn degenerate_constructor_matches_real_inserts() {
+        // The O(n) direct constructor must produce bit-for-bit the shape
+        // (and contents) that ascending `insert_entry` calls produce —
+        // compared structurally via `render` at a size where the real
+        // build is cheap.
+        for n in [1u64, 2, 3, 7, 64] {
+            let direct = NbBst::degenerate_ascending(n);
+            let real: NbBst<u64, u64> = NbBst::new();
+            for k in 0..n {
+                real.insert_entry(k, k).unwrap();
+            }
+            assert_eq!(direct.render(), real.render(), "n={n}");
+            direct.check_invariants().unwrap();
+            assert_eq!(direct.height(), real.height(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn degenerate_100k_tree_traversals_use_constant_stack() {
+        // The headline regression: a 100_000-key degenerate path tree
+        // (exactly the shape sequential inserts produce; built in O(n)
+        // because the public-API build is quadratic in n) must complete
+        // every snapshot/validation traversal inside a 128 KiB thread
+        // stack. The recursive walks this replaces needed hundreds of
+        // bytes per level — tens of megabytes at this depth.
+        const N: u64 = 100_000;
+        on_tiny_stack(|| {
+            let t = NbBst::degenerate_ascending(N);
+            assert_eq!(t.height(), (N + 1) as usize);
+            t.check_invariants().unwrap();
+            let all = t.range_snapshot(Bound::Unbounded, Bound::Unbounded);
+            assert_eq!(all.len(), N as usize);
+            assert_eq!(all.first(), Some(&(0, 0)));
+            assert_eq!(all.last(), Some(&(N - 1, N - 1)));
+            assert_eq!(t.len_slow(), N as usize);
+            assert_eq!(t.keys_snapshot().len(), N as usize);
+            let mid = t.range_snapshot(Bound::Included(&50_000), Bound::Excluded(&50_010));
+            assert_eq!(mid.len(), 10);
+            let mut seen = 0usize;
+            t.for_each_entry(|k, v| {
+                assert_eq!(k, v);
+                seen += 1;
+            });
+            assert_eq!(seen, N as usize);
+            assert_eq!(t.min_key(), Some(0));
+            assert_eq!(t.max_key(), Some(N - 1));
+            // Teardown of the 100k-deep tree is iterative too.
+            drop(t);
+        });
+    }
+
+    #[test]
+    fn degenerate_render_uses_constant_stack() {
+        // `render` output is inherently O(depth) per line, so it gets its
+        // own smaller depth — the point here is only that the *walk* is
+        // iterative.
+        on_tiny_stack(|| {
+            let t = NbBst::degenerate_ascending(2_000);
+            let r = t.render();
+            assert!(r.contains("[0]"));
+            assert!(r.contains("[1999]"));
+            // n real leaves + 2 sentinel leaves + (n + 1) internal nodes.
+            assert_eq!(r.lines().count(), 2 * 2_000 + 3);
+        });
     }
 }

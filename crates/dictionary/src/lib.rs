@@ -50,7 +50,7 @@
 mod route;
 mod sentinel;
 
-pub use route::{FibonacciRoute, ShardRoute};
+pub use route::{FibonacciRoute, KeySpace, RangeRoute, ShardRoute, UniformU64};
 pub use sentinel::{real_vs_node, SentinelKey};
 
 use std::collections::BTreeMap;

@@ -33,6 +33,23 @@
 //! therefore adds **no** new stranded-garbage scenarios over the single
 //! tree.
 //!
+//! ## Ordered reads across shards
+//!
+//! Per-shard trees are ordered, so the frontend offers global ordered
+//! reads — [`ShardedNbBst::range_snapshot`], [`ShardedNbBst::min_key`],
+//! [`ShardedNbBst::max_key`], [`ShardedNbBst::for_each_entry`] — whose
+//! cost depends on the route. Under an **ordered** route
+//! (`RangeRoute`; see [`ShardRoute::is_ordered`]) each shard owns a
+//! contiguous key interval, so a range query visits only the shards the
+//! route says can overlap the bounds and *concatenates* their snapshots;
+//! under a hash route every shard may own keys anywhere, so the frontend
+//! takes all per-shard snapshots and **k-way-merges** them. Both are
+//! weakly consistent (exact at quiescence), like the per-shard
+//! snapshots they are built from. [`ShardedNbBst::shard_load_report`]
+//! surfaces the trade-off at runtime: ordered routing under a skewed
+//! key distribution concentrates traffic, and the report names the hot
+//! shard.
+//!
 //! ## What `size` means here
 //!
 //! [`ShardedNbBst::len_slow`] (and `quiescent_len`) sums per-shard
@@ -57,8 +74,11 @@
 use nbbst_core::{NbBst, StatsSnapshot};
 use nbbst_dictionary::{ConcurrentMap, FibonacciRoute, ShardRoute};
 use nbbst_reclaim::Collector;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 use std::fmt;
 use std::hash::Hash;
+use std::ops::Bound;
 
 /// A dictionary sharded over independent EFRB trees.
 ///
@@ -288,6 +308,269 @@ where
     /// imbalance diagnostics: compare per-shard `searches`/`inserts`).
     pub fn shard_stats(&self) -> Option<Vec<StatsSnapshot>> {
         self.shards.iter().map(NbBst::stats).collect()
+    }
+
+    /// All `(key, value)` clones in `[lo, hi]`-style bounds, globally
+    /// sorted by key. Weakly consistent (each shard is snapshotted at
+    /// its own instant; exact at quiescence).
+    ///
+    /// Under an ordered route only the shards whose intervals overlap
+    /// the bounds are visited and their snapshots concatenate; under a
+    /// hash route every shard is snapshotted and the results are
+    /// k-way-merged. Inverted bounds yield an empty vector.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nbbst_sharded::ShardedNbBst;
+    /// use nbbst_dictionary::{RangeRoute, UniformU64};
+    /// use std::ops::Bound;
+    ///
+    /// let route = RangeRoute::even(&UniformU64 { lo: 0, hi: 99 }, 4);
+    /// let m: ShardedNbBst<u64, u64, _> = ShardedNbBst::with_route_and_shards(route, 4);
+    /// for k in [5u64, 30, 55, 80] {
+    ///     m.insert_entry(k, k).unwrap();
+    /// }
+    /// let mid = m.range_snapshot(Bound::Included(&30), Bound::Included(&55));
+    /// assert_eq!(mid, vec![(30, 30), (55, 55)]);
+    /// ```
+    pub fn range_snapshot(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<(K, V)> {
+        let n = self.shards.len();
+        if self.route.is_ordered() {
+            let mut out = Vec::new();
+            for s in self.route.covering_shards(lo, hi, n) {
+                out.extend(self.shards[s].range_snapshot(lo, hi));
+            }
+            out
+        } else {
+            merge_ordered(
+                self.shards
+                    .iter()
+                    .map(|s| s.range_snapshot(lo, hi).into_iter())
+                    .collect(),
+            )
+        }
+    }
+
+    /// The smallest key in the whole map (weakly consistent).
+    ///
+    /// Ordered routes stop at the first non-empty shard; hash routes
+    /// take the minimum over every shard's minimum.
+    pub fn min_key(&self) -> Option<K> {
+        if self.route.is_ordered() {
+            self.shards.iter().find_map(NbBst::min_key)
+        } else {
+            self.shards.iter().filter_map(NbBst::min_key).min()
+        }
+    }
+
+    /// The largest key in the whole map (weakly consistent).
+    ///
+    /// Ordered routes stop at the last non-empty shard; hash routes take
+    /// the maximum over every shard's maximum.
+    pub fn max_key(&self) -> Option<K> {
+        if self.route.is_ordered() {
+            self.shards.iter().rev().find_map(NbBst::max_key)
+        } else {
+            self.shards.iter().filter_map(NbBst::max_key).max()
+        }
+    }
+
+    /// Applies `f` to every `(key, value)` in globally ascending key
+    /// order (weakly consistent).
+    ///
+    /// Under an ordered route this *streams* shard by shard — O(1) extra
+    /// memory, no cloning, each shard pinned only while it is being
+    /// walked. Under a hash route global order requires materializing
+    /// and merging per-shard snapshots first, so entries are cloned and
+    /// `f` receives references into the merged buffer.
+    pub fn for_each_entry(&self, mut f: impl FnMut(&K, &V)) {
+        if self.route.is_ordered() {
+            for shard in self.shards.iter() {
+                shard.for_each_entry(&mut f);
+            }
+        } else {
+            for (k, v) in self.range_snapshot(Bound::Unbounded, Bound::Unbounded) {
+                f(&k, &v);
+            }
+        }
+    }
+
+    /// Per-shard load breakdown for hot-shard detection, if the map was
+    /// built with stats (see [`ShardedNbBst::with_stats`]).
+    ///
+    /// Ordered routes trade balanced load for cheap ordered scans; this
+    /// report is how you see the cost. Each [`ShardLoad`] carries the
+    /// shard's completed operation count (finds + inserts + deletes from
+    /// the Figure-4 counters) and its current key count; the report's
+    /// [`ShardLoadReport::imbalance`] is `max / mean` of per-shard ops
+    /// (`1.0` = perfectly even), and [`ShardLoadReport::hottest`] names
+    /// the busiest shard.
+    pub fn shard_load_report(&self) -> Option<ShardLoadReport> {
+        let stats = self.shard_stats()?;
+        let loads: Vec<ShardLoad> = stats
+            .iter()
+            .zip(self.shards.iter())
+            .enumerate()
+            .map(|(shard, (s, tree))| ShardLoad {
+                shard,
+                ops: s.finds + s.inserts + s.deletes,
+                keys: tree.len_slow(),
+            })
+            .collect();
+        Some(ShardLoadReport::new(loads))
+    }
+}
+
+/// K-way merge of per-shard sorted snapshots into one sorted vector.
+///
+/// Routing is pure, so no key appears in two shards; ties are broken by
+/// shard index anyway to keep the merge total without requiring
+/// `V: Ord`.
+fn merge_ordered<K: Ord, V>(mut iters: Vec<std::vec::IntoIter<(K, V)>>) -> Vec<(K, V)> {
+    struct Entry<K, V> {
+        key: K,
+        value: V,
+        shard: usize,
+    }
+    impl<K: Ord, V> PartialEq for Entry<K, V> {
+        fn eq(&self, other: &Self) -> bool {
+            self.key == other.key && self.shard == other.shard
+        }
+    }
+    impl<K: Ord, V> Eq for Entry<K, V> {}
+    impl<K: Ord, V> PartialOrd for Entry<K, V> {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl<K: Ord, V> Ord for Entry<K, V> {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Reversed: BinaryHeap is a max-heap, we want the smallest key.
+            other
+                .key
+                .cmp(&self.key)
+                .then_with(|| other.shard.cmp(&self.shard))
+        }
+    }
+
+    let total: usize = iters.iter().map(|it| it.len()).sum();
+    let mut heap = BinaryHeap::with_capacity(iters.len());
+    for (shard, it) in iters.iter_mut().enumerate() {
+        if let Some((key, value)) = it.next() {
+            heap.push(Entry { key, value, shard });
+        }
+    }
+    let mut out = Vec::with_capacity(total);
+    while let Some(Entry { key, value, shard }) = heap.pop() {
+        out.push((key, value));
+        if let Some((key, value)) = iters[shard].next() {
+            heap.push(Entry { key, value, shard });
+        }
+    }
+    out
+}
+
+/// One shard's slice of the load, as reported by
+/// [`ShardedNbBst::shard_load_report`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// Shard index.
+    pub shard: usize,
+    /// Completed dictionary operations (finds + inserts + deletes).
+    pub ops: u64,
+    /// Keys currently resident (quiescent estimate, like
+    /// [`ShardedNbBst::len_slow`]).
+    pub keys: usize,
+}
+
+/// Per-shard load summary for hot-shard detection.
+///
+/// # Examples
+///
+/// ```
+/// use nbbst_sharded::ShardedNbBst;
+/// use nbbst_dictionary::{RangeRoute, UniformU64};
+///
+/// // All traffic below key 25 → shard 0 takes everything.
+/// let route = RangeRoute::even(&UniformU64 { lo: 0, hi: 99 }, 4);
+/// let m: ShardedNbBst<u64, u64, _> = ShardedNbBst::with_stats_route_and_shards(route, 4);
+/// for k in 0u64..20 {
+///     m.insert_entry(k, k).unwrap();
+/// }
+/// let report = m.shard_load_report().unwrap();
+/// assert_eq!(report.hottest().unwrap().shard, 0);
+/// assert!(report.imbalance() > 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardLoadReport {
+    loads: Vec<ShardLoad>,
+    total_ops: u64,
+}
+
+impl ShardLoadReport {
+    fn new(loads: Vec<ShardLoad>) -> Self {
+        let total_ops = loads.iter().map(|l| l.ops).sum();
+        ShardLoadReport { loads, total_ops }
+    }
+
+    /// Per-shard loads in shard order.
+    pub fn loads(&self) -> &[ShardLoad] {
+        &self.loads
+    }
+
+    /// Total completed operations across all shards.
+    pub fn total_ops(&self) -> u64 {
+        self.total_ops
+    }
+
+    /// The shard with the most completed operations (`None` only for a
+    /// zero-shard report, which cannot be produced by a real map).
+    pub fn hottest(&self) -> Option<&ShardLoad> {
+        self.loads.iter().max_by_key(|l| l.ops)
+    }
+
+    /// `max / mean` of per-shard operation counts: `1.0` is perfectly
+    /// balanced, `shard_count` means one shard absorbed everything. `1.0`
+    /// when no operations have completed.
+    pub fn imbalance(&self) -> f64 {
+        if self.total_ops == 0 || self.loads.is_empty() {
+            return 1.0;
+        }
+        let mean = self.total_ops as f64 / self.loads.len() as f64;
+        let max = self.hottest().map(|l| l.ops).unwrap_or(0) as f64;
+        max / mean
+    }
+
+    /// `true` iff [`ShardLoadReport::imbalance`] is at most `tolerance`
+    /// (e.g. `2.0` = no shard sees more than twice the mean load).
+    pub fn is_balanced(&self, tolerance: f64) -> bool {
+        self.imbalance() <= tolerance
+    }
+}
+
+impl fmt::Display for ShardLoadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "shard load: {} ops over {} shards (imbalance {:.2})",
+            self.total_ops,
+            self.loads.len(),
+            self.imbalance()
+        )?;
+        for l in &self.loads {
+            let share = if self.total_ops == 0 {
+                0.0
+            } else {
+                100.0 * l.ops as f64 / self.total_ops as f64
+            };
+            writeln!(
+                f,
+                "  shard {:>3}: {:>10} ops ({share:5.1}%), {:>8} keys",
+                l.shard, l.ops, l.keys
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -522,5 +805,150 @@ mod tests {
     fn send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<ShardedNbBst<u64, u64>>();
+    }
+
+    use nbbst_dictionary::{RangeRoute, UniformU64};
+    use std::ops::Bound;
+
+    fn keyset() -> Vec<u64> {
+        // Pseudorandom but deterministic, spanning [0, 96) with gaps.
+        let mut x = 7u64;
+        let mut ks: Vec<u64> = (0..60)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % 96
+            })
+            .collect();
+        ks.sort_unstable();
+        ks.dedup();
+        ks
+    }
+
+    fn assert_ordered_reads_match_oracle<R: ShardRoute<u64>>(m: &ShardedNbBst<u64, u64, R>) {
+        let keys = keyset();
+        let mut oracle = BTreeMap::new();
+        for &k in &keys {
+            m.insert_entry(k, k * 2).unwrap();
+            oracle.insert(k, k * 2);
+        }
+        assert_eq!(m.min_key(), oracle.keys().next().copied());
+        assert_eq!(m.max_key(), oracle.keys().next_back().copied());
+        let all = m.range_snapshot(Bound::Unbounded, Bound::Unbounded);
+        let want: Vec<(u64, u64)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(all, want);
+        for (lo, hi) in [(0u64, 96u64), (10, 40), (47, 48), (90, 96)] {
+            let got = m.range_snapshot(Bound::Included(&lo), Bound::Excluded(&hi));
+            let want: Vec<(u64, u64)> = oracle.range(lo..hi).map(|(&k, &v)| (k, v)).collect();
+            assert_eq!(got, want, "range {lo}..{hi}");
+        }
+        // Inverted bounds: empty, no panic (BTreeMap::range would panic).
+        assert!(m
+            .range_snapshot(Bound::Included(&90), Bound::Excluded(&10))
+            .is_empty());
+        let mut visited = Vec::new();
+        m.for_each_entry(|k, v| visited.push((*k, *v)));
+        assert_eq!(visited, want_all(&oracle));
+    }
+
+    fn want_all(oracle: &BTreeMap<u64, u64>) -> Vec<(u64, u64)> {
+        oracle.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    #[test]
+    fn ordered_reads_under_hash_route_use_kway_merge() {
+        for shards in [1usize, 2, 8] {
+            let m: ShardedNbBst<u64, u64> = ShardedNbBst::with_shards(shards);
+            assert_ordered_reads_match_oracle(&m);
+        }
+    }
+
+    #[test]
+    fn ordered_reads_under_range_route_concatenate() {
+        for shards in [1usize, 2, 8] {
+            let route = RangeRoute::even(&UniformU64 { lo: 0, hi: 95 }, shards);
+            let m: ShardedNbBst<u64, u64, _> = ShardedNbBst::with_route_and_shards(route, shards);
+            assert_ordered_reads_match_oracle(&m);
+        }
+    }
+
+    #[test]
+    fn empty_map_ordered_reads() {
+        let m: ShardedNbBst<u64, u64> = ShardedNbBst::with_shards(4);
+        assert_eq!(m.min_key(), None);
+        assert_eq!(m.max_key(), None);
+        assert!(m
+            .range_snapshot(Bound::Unbounded, Bound::Unbounded)
+            .is_empty());
+        let mut n = 0;
+        m.for_each_entry(|_, _| n += 1);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn range_snapshot_is_safe_during_concurrent_updates() {
+        let route = RangeRoute::even(&UniformU64 { lo: 0, hi: 255 }, 4);
+        let m: ShardedNbBst<u64, u64, _> = ShardedNbBst::with_route_and_shards(route, 4);
+        for k in 0..256u64 {
+            m.insert_entry(k, k).unwrap();
+        }
+        std::thread::scope(|s| {
+            let m = &m;
+            let writer = s.spawn(move || {
+                for i in 0..2_000u64 {
+                    let k = (i * 37) % 256;
+                    if i % 2 == 0 {
+                        m.remove_key(&k);
+                    } else {
+                        m.insert_entry(k, k).ok();
+                    }
+                }
+            });
+            for _ in 0..50 {
+                let r = m.range_snapshot(Bound::Included(&64), Bound::Excluded(&192));
+                assert!(r.windows(2).all(|w| w[0].0 < w[1].0), "sorted");
+                assert!(r.iter().all(|(k, _)| (64..192).contains(k)), "in bounds");
+            }
+            writer.join().unwrap();
+        });
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn load_report_names_the_hot_shard_under_skew() {
+        let route = RangeRoute::even(&UniformU64 { lo: 0, hi: 1023 }, 8);
+        let m: ShardedNbBst<u64, u64, _> = ShardedNbBst::with_stats_route_and_shards(route, 8);
+        // Skewed traffic: every key lives in shard 2's interval
+        // [256, 384).
+        for k in 256u64..384 {
+            m.insert_entry(k, k).unwrap();
+            m.contains_key(&k);
+        }
+        let report = m.shard_load_report().unwrap();
+        assert_eq!(report.loads().len(), 8);
+        let hot = report.hottest().unwrap();
+        assert_eq!(hot.shard, 2);
+        assert_eq!(hot.keys, 128);
+        assert_eq!(report.total_ops(), 256);
+        assert!(report.imbalance() > 4.0, "{}", report.imbalance());
+        assert!(!report.is_balanced(2.0));
+        let text = report.to_string();
+        assert!(text.contains("shard   2"), "{text}");
+    }
+
+    #[test]
+    fn load_report_balanced_under_hash_route() {
+        let m: ShardedNbBst<u64, u64> = ShardedNbBst::with_stats_and_shards(8);
+        for k in 0u64..4_096 {
+            m.insert_entry(k, k).unwrap();
+        }
+        let report = m.shard_load_report().unwrap();
+        assert!(report.is_balanced(2.0), "{report}");
+        assert_eq!(report.total_ops(), 4_096);
+        assert_eq!(report.loads().iter().map(|l| l.keys).sum::<usize>(), 4_096);
+        // Maps built without stats have no counters to report.
+        let plain: ShardedNbBst<u64, u64> = ShardedNbBst::with_shards(8);
+        assert!(plain.shard_load_report().is_none());
     }
 }

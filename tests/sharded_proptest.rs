@@ -7,9 +7,10 @@
 
 use nbbst::sharded::ShardedNbBst;
 use nbbst::SeqMap;
-use nbbst_dictionary::{FibonacciRoute, ShardRoute};
+use nbbst_dictionary::{FibonacciRoute, RangeRoute, ShardRoute, UniformU64};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
+use std::ops::Bound;
 
 const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
 
@@ -73,6 +74,87 @@ fn replay_and_check(shards: usize, ops: &[(u8, u64)]) -> Result<(), proptest::Te
     Ok(())
 }
 
+fn bound_of(kind: u8, k: u64) -> Bound<u64> {
+    match kind {
+        0 => Bound::Included(k),
+        1 => Bound::Excluded(k),
+        _ => Bound::Unbounded,
+    }
+}
+
+/// `BTreeMap::range` panics on a decreasing range (or equal endpoints
+/// both excluded); our `range_snapshot` just returns empty for those.
+fn btreemap_accepts(lo: &Bound<u64>, hi: &Bound<u64>) -> bool {
+    match (lo, hi) {
+        (Bound::Included(a) | Bound::Excluded(a), Bound::Included(b) | Bound::Excluded(b)) => {
+            a < b || (a == b && !matches!((lo, hi), (Bound::Excluded(_), Bound::Excluded(_))))
+        }
+        _ => true,
+    }
+}
+
+/// Replays an insert/remove history, then checks `range_snapshot`,
+/// `min_key` and `max_key` against the `BTreeMap` oracle for each query.
+fn replay_and_check_ranges<R: ShardRoute<u64>>(
+    map: ShardedNbBst<u64, u64, R>,
+    route_name: &str,
+    shards: usize,
+    ops: &[(u8, u64)],
+    queries: &[(u8, u64, u8, u64)],
+) -> Result<(), proptest::TestCaseError> {
+    let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+    for &(op, k) in ops {
+        if op == 0 {
+            map.insert_entry(k, k.wrapping_mul(3)).ok();
+            SeqMap::insert(&mut oracle, k, k.wrapping_mul(3));
+        } else {
+            map.remove_key(&k);
+            SeqMap::remove(&mut oracle, &k);
+        }
+    }
+    prop_assert_eq!(
+        map.min_key(),
+        oracle.keys().next().copied(),
+        "min at {} shards ({})",
+        shards,
+        route_name
+    );
+    prop_assert_eq!(
+        map.max_key(),
+        oracle.keys().next_back().copied(),
+        "max at {} shards ({})",
+        shards,
+        route_name
+    );
+    for &(lo_kind, lo_k, hi_kind, hi_k) in queries {
+        let (lo, hi) = (bound_of(lo_kind, lo_k), bound_of(hi_kind, hi_k));
+        let got = map.range_snapshot(lo.as_ref(), hi.as_ref());
+        if btreemap_accepts(&lo, &hi) {
+            let want: Vec<(u64, u64)> = oracle.range((lo, hi)).map(|(&k, &v)| (k, v)).collect();
+            prop_assert_eq!(
+                got,
+                want,
+                "range {:?}..{:?} at {} shards ({})",
+                lo,
+                hi,
+                shards,
+                route_name
+            );
+        } else {
+            prop_assert!(
+                got.is_empty(),
+                "inverted range {:?}..{:?} must be empty at {} shards ({}), got {:?}",
+                lo,
+                hi,
+                shards,
+                route_name,
+                got
+            );
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     /// Spread-out keys: the full 0..96 range, which lands on every shard
     /// of an 8-way map.
@@ -106,5 +188,63 @@ proptest! {
             map.insert_entry(k, k).ok();
         }
         prop_assert!(map.shards()[1..].iter().all(|s| s.len_slow() == 0));
+    }
+
+    /// `range_snapshot` / `min_key` / `max_key` vs the `BTreeMap` oracle
+    /// at every shard count, under the hash route (k-way merge path) and
+    /// the range route (covering-shards concatenation path), including
+    /// inverted and degenerate bounds.
+    #[test]
+    fn sharded_range_snapshot_matches_btreemap(
+        ops in proptest::collection::vec((0u8..2, 0u64..96), 0..250),
+        queries in proptest::collection::vec((0u8..3, 0u64..100, 0u8..3, 0u64..100), 1..16),
+    ) {
+        for shards in SHARD_COUNTS {
+            replay_and_check_ranges(
+                ShardedNbBst::with_shards(shards),
+                "fibonacci",
+                shards,
+                &ops,
+                &queries,
+            )?;
+            let route = RangeRoute::even(&UniformU64 { lo: 0, hi: 95 }, shards);
+            replay_and_check_ranges(
+                ShardedNbBst::with_route_and_shards(route, shards),
+                "range",
+                shards,
+                &ops,
+                &queries,
+            )?;
+        }
+    }
+
+    /// All keys on one shard: the hash-route collision set funnels the
+    /// 8-way map through shard 0, and under the range route every key
+    /// sits below the first split point — both must still agree with the
+    /// oracle (seven shards contribute nothing to the merge/concat).
+    #[test]
+    fn sharded_range_snapshot_all_keys_one_shard(
+        ops in proptest::collection::vec(
+            (0u8..2, proptest::sample::select(colliding_keys())),
+            0..250,
+        ),
+        low_ops in proptest::collection::vec((0u8..2, 0u64..12), 0..250),
+        queries in proptest::collection::vec((0u8..3, 0u64..4_096, 0u8..3, 0u64..4_096), 1..16),
+    ) {
+        replay_and_check_ranges(
+            ShardedNbBst::with_shards(8),
+            "fibonacci-colliding",
+            8,
+            &ops,
+            &queries,
+        )?;
+        // Universe [0, 95] over 8 shards puts the first split at 12, so
+        // keys 0..12 all route to shard 0.
+        let route = RangeRoute::even(&UniformU64 { lo: 0, hi: 95 }, 8);
+        let map = ShardedNbBst::with_route_and_shards(route, 8);
+        for &(_, k) in &low_ops {
+            prop_assert_eq!(map.shard_of(&k), 0);
+        }
+        replay_and_check_ranges(map, "range-one-shard", 8, &low_ops, &queries)?;
     }
 }
